@@ -1,0 +1,67 @@
+// COR1: vertex connectivity of the constructed graphs via max-flow --
+// kappa(HB) = m+4 (maximal), kappa(HD) = m+2, kappa(B) = 4, kappa(H) = m.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/hyper_butterfly.hpp"
+#include "graph/connectivity.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/hyper_debruijn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace {
+
+void connectivity_table() {
+  std::cout << "COR1: exact vertex connectivity (max-flow) on small "
+               "instances\n  network      kappa  degree(min)  maximally-FT\n";
+  auto report = [](const std::string& name, const hbnet::Graph& g) {
+    std::uint32_t kappa = hbnet::vertex_connectivity(g);
+    auto [lo, hi] = g.degree_range();
+    (void)hi;
+    std::cout << "  " << name << "   " << kappa << "      " << lo << "            "
+              << (kappa == lo ? "yes" : "NO") << "\n";
+  };
+  report("H(4)      ", hbnet::Hypercube(4).to_graph());
+  report("B(4)      ", hbnet::Butterfly(4).to_graph());
+  report("HD(2,3)   ", hbnet::HyperDeBruijn(2, 3).to_graph());
+  report("HB(1,3)   ", hbnet::HyperButterfly(1, 3).to_graph());
+  report("HB(2,3)   ", hbnet::HyperButterfly(2, 3).to_graph());
+  std::cout << "Note: HD is *not* maximally fault tolerant (kappa = m+2 < "
+               "max degree m+4); HB is (kappa = degree = m+4).\n";
+  std::cout << "\nSampled kappa lower bound on larger instances:\n";
+  {
+    hbnet::Graph g = hbnet::HyperButterfly(3, 6).to_graph();
+    bool ok = hbnet::check_local_connectivity_sampled(g, 7, 20);
+    std::cout << "  HB(3,6): 20 sampled pairs all have >= 7 disjoint paths: "
+              << (ok ? "yes" : "NO") << "\n";
+  }
+}
+
+void BM_MaxDisjointPathsFlow(benchmark::State& state) {
+  hbnet::Graph g = hbnet::HyperButterfly(2, static_cast<unsigned>(state.range(0)))
+                       .to_graph();
+  hbnet::NodeId t = g.num_nodes() / 2 + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::max_disjoint_paths(g, 0, t));
+  }
+}
+BENCHMARK(BM_MaxDisjointPathsFlow)->Arg(3)->Arg(5)->Arg(7)->Unit(benchmark::kMicrosecond);
+
+void BM_VertexConnectivityExact(benchmark::State& state) {
+  hbnet::Graph g =
+      hbnet::HyperButterfly(1, static_cast<unsigned>(state.range(0))).to_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::vertex_connectivity(g));
+  }
+}
+BENCHMARK(BM_VertexConnectivityExact)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  connectivity_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

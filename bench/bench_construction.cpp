@@ -1,0 +1,80 @@
+// THM2: construction cost and exact node/edge counts of the constructed
+// networks (google-benchmark microbenchmarks + a count audit printed first).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/hyper_butterfly.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/hyper_debruijn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace {
+
+void audit_counts() {
+  std::cout << "THM2 audit: constructed vs closed-form counts\n";
+  for (auto [m, n] : {std::pair{2u, 3u}, std::pair{3u, 4u}, std::pair{4u, 5u},
+                      std::pair{3u, 8u}}) {
+    hbnet::HyperButterfly hb(m, n);
+    hbnet::Graph g = hb.to_graph();
+    std::cout << "  HB(" << m << "," << n << "): nodes " << g.num_nodes()
+              << " (formula " << hb.num_nodes() << "), edges " << g.num_edges()
+              << " (formula " << hb.num_edges() << "), regular "
+              << (g.is_regular() ? "yes" : "no") << ", degree " << g.degree(0)
+              << "\n";
+  }
+}
+
+void BM_BuildHyperButterfly(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    hbnet::HyperButterfly hb(m, n);
+    benchmark::DoNotOptimize(hb.to_graph());
+  }
+  state.SetLabel("HB(" + std::to_string(m) + "," + std::to_string(n) + ")");
+}
+BENCHMARK(BM_BuildHyperButterfly)
+    ->Args({2, 3})
+    ->Args({3, 4})
+    ->Args({3, 6})
+    ->Args({3, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildHypercube(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::Hypercube(m).to_graph());
+  }
+}
+BENCHMARK(BM_BuildHypercube)->Arg(8)->Arg(11)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_BuildButterfly(benchmark::State& state) {
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::Butterfly(n).to_graph());
+  }
+}
+BENCHMARK(BM_BuildButterfly)->Arg(6)->Arg(8)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_BuildHyperDeBruijn(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::HyperDeBruijn(m, n).to_graph());
+  }
+}
+BENCHMARK(BM_BuildHyperDeBruijn)
+    ->Args({3, 8})
+    ->Args({3, 11})
+    ->Args({6, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  audit_counts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// THM3: diameter of HB(m,n) -- measured (one BFS from the identity, valid by
+// vertex transitivity) against the paper's formula m + ceil(3n/2), plus
+// timing of the measurement.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/hyper_butterfly.hpp"
+#include "core/routing.hpp"
+
+namespace {
+
+void diameter_table() {
+  std::cout << "THM3: diameter of HB(m,n)\n"
+            << "  m  n  measured  paper(m+ceil(3n/2))  m+floor(3n/2)\n";
+  for (auto [m, n] : {std::pair{1u, 3u}, std::pair{2u, 3u}, std::pair{3u, 3u},
+                      std::pair{2u, 4u}, std::pair{3u, 4u}, std::pair{2u, 5u},
+                      std::pair{3u, 5u}, std::pair{2u, 6u}, std::pair{3u, 6u},
+                      std::pair{2u, 7u}, std::pair{3u, 8u}}) {
+    hbnet::HyperButterfly hb(m, n);
+    unsigned measured = hbnet::hb_diameter_measured(hb);
+    std::cout << "  " << m << "  " << n << "  " << measured << "         "
+              << hb.diameter_formula() << "                    "
+              << (m + 3 * n / 2)
+              << (measured == m + 3 * n / 2 ? "  (matches floor form)" : "")
+              << "\n";
+  }
+  std::cout << "The ceil/floor gap exists only for odd n; the measured\n"
+            << "butterfly contribution is floor(3n/2) (cf. Remark 1 vs\n"
+            << "Theorem 3 in the paper).\n";
+}
+
+void BM_DiameterBfs(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const unsigned n = static_cast<unsigned>(state.range(1));
+  hbnet::HyperButterfly hb(m, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::hb_diameter_measured(hb));
+  }
+  state.SetLabel("HB(" + std::to_string(m) + "," + std::to_string(n) + ")");
+}
+BENCHMARK(BM_DiameterBfs)
+    ->Args({2, 4})
+    ->Args({3, 5})
+    ->Args({3, 6})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  diameter_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// THM5: the m+4 disjoint-path construction -- validity statistics, length
+// distribution against the paper's bounds, and construction throughput.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "core/hyper_butterfly.hpp"
+#include "graph/disjoint_paths.hpp"
+
+namespace {
+
+void family_statistics() {
+  std::cout << "THM5: disjoint path family statistics (random pairs)\n"
+            << "  instance   families  all-valid  max-len  mean-len\n";
+  for (auto [m, n] : {std::pair{2u, 4u}, std::pair{3u, 5u}, std::pair{3u, 8u}}) {
+    hbnet::HyperButterfly hb(m, n);
+    hbnet::Graph g = (hb.num_nodes() <= 4096) ? hb.to_graph() : hbnet::Graph();
+    std::mt19937_64 rng(3);
+    std::uniform_int_distribution<hbnet::HbIndex> pick(0, hb.num_nodes() - 1);
+    unsigned families = 0, valid = 0;
+    std::size_t max_len = 0;
+    double total_len = 0;
+    std::size_t paths_counted = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      hbnet::HbIndex s = pick(rng), t = pick(rng);
+      if (s == t) continue;
+      auto family = hb.disjoint_paths(hb.node_at(s), hb.node_at(t));
+      ++families;
+      bool ok = family.size() == m + 4;
+      if (g.num_nodes() != 0) {
+        std::vector<hbnet::Path> paths;
+        for (const auto& p : family) {
+          hbnet::Path q;
+          for (const auto& v : p) {
+            q.push_back(static_cast<hbnet::NodeId>(hb.index_of(v)));
+          }
+          paths.push_back(std::move(q));
+        }
+        ok = ok && hbnet::check_disjoint_paths(g, paths,
+                                               static_cast<hbnet::NodeId>(s),
+                                               static_cast<hbnet::NodeId>(t))
+                       .ok;
+      }
+      valid += ok;
+      for (const auto& p : family) {
+        max_len = std::max(max_len, p.size() - 1);
+        total_len += static_cast<double>(p.size() - 1);
+        ++paths_counted;
+      }
+    }
+    std::cout << "  HB(" << m << "," << n << ")    " << families << "        "
+              << valid << "         " << max_len << "       "
+              << total_len / static_cast<double>(paths_counted) << "\n";
+  }
+}
+
+void BM_DisjointPaths(benchmark::State& state) {
+  hbnet::HyperButterfly hb(static_cast<unsigned>(state.range(0)),
+                           static_cast<unsigned>(state.range(1)));
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<hbnet::HbIndex> pick(0, hb.num_nodes() - 1);
+  for (auto _ : state) {
+    hbnet::HbIndex s = pick(rng), t = pick(rng);
+    if (s == t) continue;
+    benchmark::DoNotOptimize(hb.disjoint_paths(hb.node_at(s), hb.node_at(t)));
+  }
+  state.SetLabel("HB(" + std::to_string(state.range(0)) + "," +
+                 std::to_string(state.range(1)) + ")");
+}
+BENCHMARK(BM_DisjointPaths)
+    ->Args({2, 4})
+    ->Args({3, 6})
+    ->Args({3, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  family_statistics();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

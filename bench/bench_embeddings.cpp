@@ -1,0 +1,94 @@
+// LEM2 / THM4: embedding construction + validation -- even cycles of every
+// length, tori, trees and meshes of trees, with timings.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/embeddings.hpp"
+#include "graph/embedding_check.hpp"
+#include "topology/guest_graphs.hpp"
+
+namespace {
+
+void embedding_audit() {
+  std::cout << "LEM2/THM4 audit on HB(3,4) (512 nodes)\n";
+  hbnet::HyperButterfly hb(3, 4);
+  hbnet::Graph g = hb.to_graph();
+  // Every even cycle length.
+  unsigned cycles_ok = 0, cycles_total = 0;
+  for (std::uint64_t k = 4; k <= hb.num_nodes(); k += 2) {
+    auto cyc = hbnet::hb_even_cycle(hb, k);
+    bool ok = cyc.size() == k;
+    for (std::size_t i = 0; ok && i < cyc.size(); ++i) {
+      ok = g.has_edge(
+          static_cast<hbnet::NodeId>(hb.index_of(cyc[i])),
+          static_cast<hbnet::NodeId>(hb.index_of(cyc[(i + 1) % cyc.size()])));
+    }
+    ++cycles_total;
+    cycles_ok += ok;
+  }
+  std::cout << "  even cycles k=4..512: " << cycles_ok << "/" << cycles_total
+            << " valid\n";
+  // Tree.
+  {
+    auto tree = hbnet::tree_in_hb(hb);
+    hbnet::Graph guest = hbnet::make_complete_binary_tree(3 + 4 - 2);
+    std::vector<hbnet::NodeId> map;
+    for (const auto& v : tree) {
+      map.push_back(static_cast<hbnet::NodeId>(hb.index_of(v)));
+    }
+    auto check = hbnet::check_embedding(guest, g, map);
+    std::cout << "  T(" << 3 + 4 - 2 << ") subgraph: "
+              << (check.dilation_one ? "valid" : check.error) << "\n";
+  }
+  // Mesh of trees.
+  {
+    auto mt = hbnet::mesh_of_trees_in_hb(hb, 1, 3);
+    hbnet::Graph guest = hbnet::make_mesh_of_trees(1, 3);
+    std::vector<hbnet::NodeId> map;
+    for (const auto& v : mt) {
+      map.push_back(static_cast<hbnet::NodeId>(hb.index_of(v)));
+    }
+    auto check = hbnet::check_embedding(guest, g, map);
+    std::cout << "  MT(2^1,2^3) subgraph: "
+              << (check.dilation_one ? "valid" : check.error) << "\n";
+  }
+}
+
+void BM_EvenCycle(benchmark::State& state) {
+  hbnet::HyperButterfly hb(3, 6);
+  const std::uint64_t k = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::hb_even_cycle(hb, k));
+  }
+}
+// HB(3,6) has 6*2^9 = 3072 vertices; the largest arg is the Hamiltonian case.
+BENCHMARK(BM_EvenCycle)->Arg(16)->Arg(1024)->Arg(3072)->Unit(benchmark::kMicrosecond);
+
+void BM_TreeInHypercube(benchmark::State& state) {
+  const unsigned h = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::tree_in_hypercube(h));
+  }
+}
+BENCHMARK(BM_TreeInHypercube)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMicrosecond);
+
+void BM_MeshOfTrees(benchmark::State& state) {
+  hbnet::HyperButterfly hb(static_cast<unsigned>(state.range(0)) + 2,
+                           static_cast<unsigned>(state.range(1)) + 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::mesh_of_trees_in_hb(
+        hb, static_cast<unsigned>(state.range(0)),
+        static_cast<unsigned>(state.range(1))));
+  }
+}
+BENCHMARK(BM_MeshOfTrees)->Args({1, 3})->Args({2, 4})->Args({3, 6})->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  embedding_audit();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// EXT-*: benches for the extension modules -- leader election message/round
+// complexity, node-to-set disjoint paths, partition allocator, dimension
+// cuts, and Valiant vs native routing under hotspot traffic.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "analysis/cuts.hpp"
+#include "core/node_to_set.hpp"
+#include "core/partition.hpp"
+#include "distsim/leader_election.hpp"
+#include "analysis/spectral.hpp"
+#include "graph/bfs.hpp"
+#include "sim/simulator.hpp"
+#include "topology/ccc.hpp"
+#include "topology/hyper_debruijn.hpp"
+
+namespace {
+
+void election_table() {
+  std::cout << "EXT-ELECTION: leader election on HB(m,n)\n"
+            << "  m n     N   flood rounds/messages   structured "
+               "rounds/messages\n";
+  for (auto [m, n] : {std::pair{1u, 3u}, std::pair{2u, 3u}, std::pair{2u, 4u},
+                      std::pair{3u, 4u}, std::pair{3u, 5u}}) {
+    hbnet::HyperButterfly hb(m, n);
+    auto flood = hbnet::flood_max_election(hb.to_graph());
+    auto structured = hbnet::hb_structured_election(hb);
+    std::cout << "  " << m << " " << n << "  " << hb.num_nodes() << "    "
+              << flood.run.rounds << " / " << flood.run.messages
+              << "              " << structured.run.rounds << " / "
+              << structured.run.messages << "\n";
+  }
+  std::cout << "(structured = m + floor(3n/2) rounds and O(N(m+n)) messages "
+               "-- the companion paper's bound)\n";
+}
+
+void cuts_table() {
+  std::cout << "\nEXT-VLSI: dimension cuts of HB(2,4) (substituting the "
+               "paper's announced VLSI results)\n";
+  hbnet::HyperButterfly hb(2, 4);
+  for (const auto& c : hbnet::hb_dimension_cuts(hb)) {
+    std::cout << "  " << c.name << ": width " << c.width
+              << (c.balanced ? " (balanced)" : "") << "\n";
+  }
+  std::uint64_t ub = hbnet::sampled_bisection_upper_bound(hb.to_graph(), 3, 5);
+  std::cout << "  sampled bisection upper bound: " << ub
+            << " -> Thompson area >= " << hbnet::thompson_area_lower_bound(ub)
+            << "\n";
+}
+
+void valiant_table() {
+  std::cout << "\nEXT-SIM/VALIANT: native vs Valiant routing on HB(3,5), "
+               "p99 latency by traffic pattern (load 0.08)\n"
+            << "  pattern         native-p99  valiant-p99\n";
+  auto topo = hbnet::make_hyper_butterfly_sim(3, 5);
+  for (hbnet::TrafficPattern pattern :
+       {hbnet::TrafficPattern::kUniform, hbnet::TrafficPattern::kBitComplement,
+        hbnet::TrafficPattern::kBitReversal, hbnet::TrafficPattern::kShuffle,
+        hbnet::TrafficPattern::kHotspot}) {
+    hbnet::SimConfig cfg;
+    cfg.pattern = pattern;
+    cfg.injection_rate = 0.08;
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 300;
+    cfg.drain_cycles = 40000;
+    hbnet::SimStats native = hbnet::run_simulation(*topo, cfg);
+    cfg.routing = hbnet::RoutingMode::kValiant;
+    hbnet::SimStats valiant = hbnet::run_simulation(*topo, cfg);
+    std::cout << "  " << std::left << std::setw(16) << to_string(pattern)
+              << std::right << std::setw(8) << native.latency_percentile(0.99)
+              << std::setw(13) << valiant.latency_percentile(0.99) << "\n";
+  }
+  std::cout << "(Valiant helps when deterministic routes collide -- the\n"
+               "adversarial permutations -- and cannot help hotspot, whose\n"
+               "congestion is at the destination itself; under benign\n"
+               "uniform traffic it just pays the ~2x hop overhead)\n";
+}
+
+void extended_comparison() {
+  // The five-network comparison at ~matched size (1-2.5k nodes), with the
+  // classic degree*diameter cost metric -- extends Figure 1's context with
+  // the third bounded-degree family (CCC).
+  std::cout << "\nEXT-COMPARE: five networks at matched scale\n"
+            << "  network   nodes  deg     diam  deg*diam  avg-dist  "
+               "spectral-gap\n";
+  struct Row {
+    std::string name;
+    hbnet::Graph g;
+    std::string deg;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"H(11)  ", hbnet::Hypercube(11).to_graph(), "11"});
+  rows.push_back({"B(8)   ", hbnet::Butterfly(8).to_graph(), "4"});
+  rows.push_back({"CCC(8) ", hbnet::CubeConnectedCycles(8).to_graph(), "3"});
+  rows.push_back({"HD(3,8)", hbnet::HyperDeBruijn(3, 8).to_graph(), "5..7"});
+  rows.push_back({"HB(3,5)", hbnet::HyperButterfly(3, 5).to_graph(), "7"});
+  for (auto& row : rows) {
+    // All but HD are vertex transitive; HD at this size is cheap enough for
+    // a sampled eccentricity (32 sources) as a lower bound + full diameter.
+    unsigned diam = (row.name[0] == 'H' && row.name[1] == 'D')
+                        ? hbnet::diameter(row.g)
+                        : hbnet::diameter_vertex_transitive(row.g);
+    auto [lo, hi] = row.g.degree_range();
+    double avg = hbnet::average_distance(row.g, 24);
+    std::cout << "  " << row.name << "  " << row.g.num_nodes() << "   "
+              << row.deg << "     " << diam << "    " << hi * diam << "       "
+              << avg << "    ";
+    if (lo == hi) {
+      auto est = hbnet::spectral_gap_regular(row.g, 4000, 1e-8);
+      std::cout << est.gap << (est.converged ? "" : "~");
+    } else {
+      std::cout << "-";  // irregular (HD): deflation assumption fails
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(cost = max-degree * diameter, the classic VLSI-era figure "
+               "of merit; HB sits between the hypercube's fault tolerance "
+               "and the bounded-degree families' cost)\n";
+}
+
+void BM_NodeToSet(benchmark::State& state) {
+  hbnet::HyperButterfly hb(2, static_cast<unsigned>(state.range(0)));
+  hbnet::Graph g = hb.to_graph();
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<hbnet::HbIndex> pick(0, hb.num_nodes() - 1);
+  for (auto _ : state) {
+    hbnet::HbNode u = hb.node_at(pick(rng));
+    std::vector<hbnet::HbNode> targets;
+    while (targets.size() < hb.degree()) {
+      hbnet::HbIndex t = pick(rng);
+      if (t != hb.index_of(u)) targets.push_back(hb.node_at(t));
+    }
+    benchmark::DoNotOptimize(hbnet::node_to_set_paths_on(hb, g, u, targets));
+  }
+}
+BENCHMARK(BM_NodeToSet)->Arg(3)->Arg(5)->Unit(benchmark::kMicrosecond);
+
+void BM_PartitionAllocator(benchmark::State& state) {
+  hbnet::HyperButterfly hb(8, 3);
+  for (auto _ : state) {
+    hbnet::PartitionAllocator alloc(hb);
+    std::vector<hbnet::SubHyperButterfly> held;
+    for (unsigned k : {4u, 4u, 3u, 2u, 2u, 1u, 5u}) {
+      if (auto part = alloc.allocate(k)) held.push_back(*part);
+    }
+    for (const auto& part : held) alloc.release(part);
+    benchmark::DoNotOptimize(alloc.largest_free());
+  }
+}
+BENCHMARK(BM_PartitionAllocator);
+
+void BM_StructuredElection(benchmark::State& state) {
+  hbnet::HyperButterfly hb(static_cast<unsigned>(state.range(0)),
+                           static_cast<unsigned>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::hb_structured_election(hb));
+  }
+}
+BENCHMARK(BM_StructuredElection)
+    ->Args({2, 3})
+    ->Args({3, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  election_table();
+  cuts_table();
+  valiant_table();
+  extended_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// SEC3: shortest routing. Verifies optimality on a sample (route length ==
+// BFS distance) and benchmarks routing throughput of the four networks'
+// native algorithms at matched sizes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "core/hyper_butterfly.hpp"
+#include "core/routing.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+void optimality_check() {
+  std::cout << "SEC3: routing optimality spot check (route length vs BFS)\n";
+  hbnet::HyperButterfly hb(3, 5);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<hbnet::HbIndex> pick(0, hb.num_nodes() - 1);
+  unsigned checked = 0, optimal = 0;
+  for (int i = 0; i < 50; ++i) {
+    hbnet::HbNode u = hb.node_at(pick(rng)), v = hb.node_at(pick(rng));
+    unsigned algo_len = static_cast<unsigned>(hb.route(u, v).size() - 1);
+    unsigned bfs = hbnet::hb_bfs_distance(hb, u, v);
+    ++checked;
+    optimal += (algo_len == bfs);
+  }
+  std::cout << "  HB(3,5): " << optimal << "/" << checked
+            << " sampled routes optimal\n";
+}
+
+void BM_RouteHb(benchmark::State& state) {
+  hbnet::HyperButterfly hb(static_cast<unsigned>(state.range(0)),
+                           static_cast<unsigned>(state.range(1)));
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<hbnet::HbIndex> pick(0, hb.num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hb.route(hb.node_at(pick(rng)), hb.node_at(pick(rng))));
+  }
+  state.SetLabel("HB(" + std::to_string(state.range(0)) + "," +
+                 std::to_string(state.range(1)) + ")");
+}
+BENCHMARK(BM_RouteHb)->Args({3, 8})->Args({4, 10})->Args({6, 12});
+
+void BM_RouteViaSimAdapter(benchmark::State& state) {
+  // Matched ~16k-node instances, the Figure-2 trio plus hypercube/butterfly.
+  std::unique_ptr<hbnet::SimTopology> topo;
+  switch (state.range(0)) {
+    case 0:
+      topo = hbnet::make_hyper_butterfly_sim(3, 8);
+      break;
+    case 1:
+      topo = hbnet::make_hyper_debruijn_sim(3, 11);
+      break;
+    case 2:
+      topo = hbnet::make_hyper_debruijn_sim(6, 8);
+      break;
+    case 3:
+      topo = hbnet::make_hypercube_sim(14);
+      break;
+    default:
+      topo = hbnet::make_butterfly_sim(10);
+      break;
+  }
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint32_t> pick(0, topo->num_nodes() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo->route(pick(rng), pick(rng)));
+  }
+  state.SetLabel(topo->name());
+}
+BENCHMARK(BM_RouteViaSimAdapter)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optimality_check();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Packet-level comparison of the paper's four networks on synthetic
+// multiprocessor traffic -- the operational version of Figures 1/2.
+//
+//   $ ./network_simulation [load] [pattern]
+//     load:    injection rate in packets/node/cycle (default 0.05)
+//     pattern: uniform | complement | reversal | shuffle | hotspot
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+hbnet::TrafficPattern parse_pattern(const char* s) {
+  if (std::strcmp(s, "complement") == 0) {
+    return hbnet::TrafficPattern::kBitComplement;
+  }
+  if (std::strcmp(s, "reversal") == 0) {
+    return hbnet::TrafficPattern::kBitReversal;
+  }
+  if (std::strcmp(s, "shuffle") == 0) return hbnet::TrafficPattern::kShuffle;
+  if (std::strcmp(s, "hotspot") == 0) return hbnet::TrafficPattern::kHotspot;
+  return hbnet::TrafficPattern::kUniform;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const hbnet::TrafficPattern pattern =
+      argc > 2 ? parse_pattern(argv[2]) : hbnet::TrafficPattern::kUniform;
+
+  std::vector<std::unique_ptr<hbnet::SimTopology>> topos;
+  topos.push_back(hbnet::make_hyper_butterfly_sim(3, 5));  // 1280 nodes
+  topos.push_back(hbnet::make_hyper_debruijn_sim(3, 8));   // 2048 nodes
+  topos.push_back(hbnet::make_hypercube_sim(11));          // 2048 nodes
+  topos.push_back(hbnet::make_butterfly_sim(8));           // 2048 nodes
+  topos.push_back(hbnet::make_ccc_sim(8));                 // 2048 nodes
+
+  std::cout << "pattern=" << to_string(pattern) << " load=" << load
+            << " pkts/node/cycle\n\n";
+  std::cout << std::left << std::setw(10) << "network" << std::right
+            << std::setw(8) << "nodes" << std::setw(8) << "deg" << std::setw(12)
+            << "delivered" << std::setw(10) << "meanlat" << std::setw(8)
+            << "p99" << std::setw(10) << "meanhops" << "\n";
+  for (const auto& topo : topos) {
+    hbnet::SimConfig cfg;
+    cfg.injection_rate = load;
+    cfg.pattern = pattern;
+    cfg.warmup_cycles = 200;
+    cfg.measure_cycles = 600;
+    cfg.drain_cycles = 30000;
+    hbnet::SimStats s = hbnet::run_simulation(*topo, cfg);
+    std::cout << std::left << std::setw(10) << topo->name() << std::right
+              << std::setw(8) << topo->num_nodes() << std::setw(8)
+              << topo->degree_hint() << std::setw(12) << s.delivered()
+              << std::setw(10) << std::fixed << std::setprecision(2)
+              << s.mean_latency() << std::setw(8) << s.latency_percentile(0.99)
+              << std::setw(10) << s.mean_hops() << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\nInterpretation: at matched size, HB pays slightly more hops\n"
+               "than the hypercube (bounded degree) but matches the\n"
+               "butterfly/hyper-deBruijn class while adding maximal fault\n"
+               "tolerance -- the paper's central trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "analysis/cuts.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace hbnet {
+
+std::uint64_t cut_width(const Graph& g, const std::vector<char>& side) {
+  if (side.size() != g.num_nodes()) {
+    throw std::invalid_argument("cut_width: side mask size mismatch");
+  }
+  std::uint64_t crossing = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && side[u] != side[v]) ++crossing;
+    }
+  }
+  return crossing;
+}
+
+std::vector<NamedCut> hb_dimension_cuts(const HyperButterfly& hb) {
+  if (hb.num_nodes() > (HbIndex{1} << 31)) {
+    throw std::length_error("hb_dimension_cuts: instance too large");
+  }
+  Graph g = hb.to_graph();
+  const NodeId n = g.num_nodes();
+  std::vector<NamedCut> cuts;
+  auto eval = [&](const std::string& name, auto&& pred) {
+    std::vector<char> side(n);
+    NodeId ones = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      side[v] = pred(hb.node_at(v)) ? 1 : 0;
+      ones += side[v];
+    }
+    NamedCut c;
+    c.name = name;
+    c.width = cut_width(g, side);
+    c.balanced = (2 * static_cast<std::uint64_t>(ones) + 1 >= n) &&
+                 (2 * static_cast<std::uint64_t>(ones) <= n + 1);
+    cuts.push_back(std::move(c));
+  };
+  for (unsigned i = 0; i < hb.cube_dimension(); ++i) {
+    eval("cube bit " + std::to_string(i),
+         [i](const HbNode& v) { return (v.cube >> i) & 1u; });
+  }
+  for (unsigned j = 0; j < hb.butterfly_dimension(); ++j) {
+    eval("butterfly word bit " + std::to_string(j),
+         [j](const HbNode& v) { return (v.bfly.word >> j) & 1u; });
+  }
+  const unsigned half = hb.butterfly_dimension() / 2;
+  eval("level half", [half](const HbNode& v) { return v.bfly.level < half; });
+  return cuts;
+}
+
+std::uint64_t sampled_bisection_upper_bound(const Graph& g, unsigned restarts,
+                                            std::uint64_t seed,
+                                            unsigned max_passes) {
+  const NodeId n = g.num_nodes();
+  if (n < 2) return 0;
+  std::mt19937_64 rng(seed);
+  std::uint64_t best = ~std::uint64_t{0};
+  for (unsigned r = 0; r < restarts; ++r) {
+    // Random balanced start.
+    std::vector<NodeId> perm(n);
+    for (NodeId v = 0; v < n; ++v) perm[v] = v;
+    std::shuffle(perm.begin(), perm.end(), rng);
+    std::vector<char> side(n, 0);
+    for (NodeId i = 0; i < n / 2; ++i) side[perm[i]] = 1;
+
+    // Gain of flipping v = (same-side neighbors) - (cross neighbors);
+    // descend by swapping the best positive-gain pair, a lightweight
+    // Kernighan-Lin.
+    auto gain = [&](NodeId v) {
+      std::int64_t same = 0, cross = 0;
+      for (NodeId w : g.neighbors(v)) {
+        (side[w] == side[v] ? same : cross) += 1;
+      }
+      return same - cross;
+    };
+    for (unsigned pass = 0; pass < max_passes; ++pass) {
+      // Pick the best candidate from each side and swap if jointly
+      // improving.
+      NodeId best0 = kInvalidNode, best1 = kInvalidNode;
+      std::int64_t g0 = 0, g1 = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        std::int64_t gv = gain(v);
+        if (side[v] == 0 && (best0 == kInvalidNode || gv > g0)) {
+          best0 = v;
+          g0 = gv;
+        }
+        if (side[v] == 1 && (best1 == kInvalidNode || gv > g1)) {
+          best1 = v;
+          g1 = gv;
+        }
+      }
+      if (best0 == kInvalidNode || best1 == kInvalidNode) break;
+      std::int64_t joint = g0 + g1 - 2 * (g.has_edge(best0, best1) ? 1 : 0);
+      if (joint <= 0) break;
+      side[best0] = 1;
+      side[best1] = 0;
+    }
+    best = std::min(best, cut_width(g, side));
+  }
+  return best;
+}
+
+std::uint64_t thompson_area_lower_bound(std::uint64_t bisection) {
+  return bisection * bisection;
+}
+
+}  // namespace hbnet

@@ -1,0 +1,44 @@
+// Cut widths and VLSI-layout estimates -- the paper's announced VLSI
+// future-work item, substituted per DESIGN.md by measurable graph
+// quantities: exact widths of the canonical "dimension" bisections, a
+// sampled upper bound on the true bisection width, and the Thompson-model
+// area lower bound (area = Omega(bisection^2)) these imply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Number of edges crossing the 0/1 partition `side` (size num_nodes).
+[[nodiscard]] std::uint64_t cut_width(const Graph& g,
+                                      const std::vector<char>& side);
+
+/// A named balanced cut and its width.
+struct NamedCut {
+  std::string name;
+  std::uint64_t width = 0;
+  bool balanced = false;  // |sides| differ by at most 1
+};
+
+/// The canonical cuts of HB(m,n): one per cube bit (split on h_i), one per
+/// butterfly word bit, and the "level half" cut (levels < n/2 vs rest).
+/// Each is an upper bound on the bisection width (when balanced).
+[[nodiscard]] std::vector<NamedCut> hb_dimension_cuts(const HyperButterfly& hb);
+
+/// Best (smallest) balanced cut found by local search from `restarts`
+/// random balanced partitions (Kernighan-Lin style single-swap descent).
+/// An upper bound on the true bisection width.
+[[nodiscard]] std::uint64_t sampled_bisection_upper_bound(
+    const Graph& g, unsigned restarts = 4, std::uint64_t seed = 1,
+    unsigned max_passes = 8);
+
+/// Thompson-grid VLSI area lower bound implied by a bisection width b:
+/// Omega(b^2). Returned as b*b.
+[[nodiscard]] std::uint64_t thompson_area_lower_bound(std::uint64_t bisection);
+
+}  // namespace hbnet

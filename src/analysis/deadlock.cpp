@@ -1,0 +1,105 @@
+#include "analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace hbnet {
+namespace {
+
+using Channel = std::uint64_t;  // (u << 32) | v
+
+Channel make_channel(std::uint32_t u, std::uint32_t v) {
+  return (static_cast<Channel>(u) << 32) | v;
+}
+
+}  // namespace
+
+CdgAnalysis analyze_routing_deadlock(std::uint32_t num_nodes,
+                                     const RouteFn& route,
+                                     std::uint32_t sample_stride) {
+  if (sample_stride == 0) sample_stride = 1;
+  // Dense channel ids assigned on first sight.
+  std::unordered_map<Channel, std::uint32_t> channel_id;
+  std::vector<Channel> channel_of;
+  std::vector<std::unordered_set<std::uint32_t>> deps;  // adjacency (dedup)
+  auto id_of = [&](Channel c) {
+    auto [it, fresh] = channel_id.emplace(
+        c, static_cast<std::uint32_t>(channel_of.size()));
+    if (fresh) {
+      channel_of.push_back(c);
+      deps.emplace_back();
+    }
+    return it->second;
+  };
+
+  CdgAnalysis result;
+  std::uint64_t pair_index = 0;
+  for (std::uint32_t s = 0; s < num_nodes; ++s) {
+    for (std::uint32_t t = 0; t < num_nodes; ++t, ++pair_index) {
+      if (s == t || pair_index % sample_stride != 0) continue;
+      std::vector<std::uint32_t> path = route(s, t);
+      for (std::size_t i = 2; i < path.size(); ++i) {
+        std::uint32_t c1 = id_of(make_channel(path[i - 2], path[i - 1]));
+        std::uint32_t c2 = id_of(make_channel(path[i - 1], path[i]));
+        if (deps[c1].insert(c2).second) ++result.dependencies;
+      }
+      if (path.size() >= 2) {
+        id_of(make_channel(path[path.size() - 2], path.back()));
+      }
+    }
+  }
+  result.channels = channel_of.size();
+
+  // Iterative DFS cycle detection with color marking; reconstructs one
+  // witness cycle when found.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(channel_of.size(), kWhite);
+  std::vector<std::uint32_t> parent(channel_of.size(), ~0u);
+  result.acyclic = true;
+  for (std::uint32_t root = 0;
+       root < channel_of.size() && result.acyclic; ++root) {
+    if (color[root] != kWhite) continue;
+    // Stack of (node, iterator position into a snapshot of deps).
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> stack;
+    auto push = [&](std::uint32_t c) {
+      color[c] = kGray;
+      stack.emplace_back(
+          c, std::vector<std::uint32_t>(deps[c].begin(), deps[c].end()));
+    };
+    push(root);
+    while (!stack.empty() && result.acyclic) {
+      auto& [c, todo] = stack.back();
+      if (todo.empty()) {
+        color[c] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      std::uint32_t next = todo.back();
+      todo.pop_back();
+      if (color[next] == kGray) {
+        // Cycle: walk the gray stack from `next` to top.
+        result.acyclic = false;
+        bool collecting = false;
+        for (const auto& frame : stack) {
+          if (frame.first == next) collecting = true;
+          if (collecting) {
+            Channel ch = channel_of[frame.first];
+            result.witness_cycle.emplace_back(
+                static_cast<std::uint32_t>(ch >> 32),
+                static_cast<std::uint32_t>(ch & 0xffffffffu));
+          }
+        }
+      } else if (color[next] == kWhite) {
+        parent[next] = c;
+        push(next);
+      }
+    }
+  }
+  if (!result.acyclic) {
+    // Witness collected above.
+  }
+  return result;
+}
+
+}  // namespace hbnet

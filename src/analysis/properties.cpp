@@ -1,0 +1,52 @@
+#include "analysis/properties.hpp"
+
+#include <algorithm>
+#include <random>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/parallel_bfs.hpp"
+
+namespace hbnet {
+
+TopologySummary summarize(const std::string& name, const Graph& g,
+                          const SummaryOptions& options) {
+  TopologySummary s;
+  s.name = name;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  auto [lo, hi] = g.degree_range();
+  s.min_degree = lo;
+  s.max_degree = hi;
+  s.regular = (lo == hi);
+
+  if (options.vertex_transitive) {
+    s.diameter = diameter_vertex_transitive(g);
+  } else if (s.nodes <= options.diameter_node_cap) {
+    s.diameter = parallel_diameter(g);  // exact; thread-parallel sweep
+  }
+
+  if (s.nodes >= 2) {
+    if (s.nodes <= options.connectivity_node_cap) {
+      s.connectivity = vertex_connectivity(g);
+      s.connectivity_exact = true;
+    } else if (options.connectivity_samples > 0) {
+      // Sampled upper-bound refinement: kappa <= min degree always; check
+      // random pairs and remember the smallest local connectivity seen.
+      std::mt19937_64 rng(options.seed);
+      std::uniform_int_distribution<NodeId> pick(
+          0, static_cast<NodeId>(s.nodes - 1));
+      std::uint32_t best = s.min_degree;
+      for (std::uint32_t i = 0; i < options.connectivity_samples; ++i) {
+        NodeId a = pick(rng), b = pick(rng);
+        while (b == a) b = pick(rng);
+        best = std::min(best, max_disjoint_paths(g, a, b));
+      }
+      s.connectivity = best;
+      s.connectivity_exact = false;
+    }
+  }
+  return s;
+}
+
+}  // namespace hbnet

@@ -1,0 +1,47 @@
+// Regenerates the paper's two comparison tables.
+//
+// Figure 1 compares, for given (m,n): the hypercube H_{m+n}, the wrapped
+// butterfly B_{m+n}, the hyper-deBruijn HD(m,n') and the hyper-butterfly
+// HB(m,n) -- parameters (nodes, edges, regularity, degree, diameter, fault
+// tolerance) plus the embedding rows. Figure 2 instantiates the comparison
+// at matched node counts: HB(3,8) vs HD(3,11) vs HD(6,8) (16384 nodes each).
+//
+// Rows carry both the paper's closed-form value and the value measured on
+// the constructed graph, so a reader can see at a glance which claims
+// reproduce. print_* write an aligned ASCII table to the stream.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbnet {
+
+/// One cell of a comparison table: formula (paper) and measurement (ours).
+struct TableCell {
+  std::string formula;
+  std::string measured;
+};
+
+struct ComparisonTable {
+  std::vector<std::string> columns;           // network names
+  std::vector<std::string> rows;              // parameter names
+  std::vector<std::vector<TableCell>> cells;  // [row][column]
+};
+
+/// Figure 1 for the given (m, n): columns H_{m+n}, B_{m+n}, HD(m,n),
+/// HB(m,n). `measure` toggles the (possibly expensive) measured column
+/// entries; instances beyond the caps show "-".
+[[nodiscard]] ComparisonTable figure1_table(unsigned m, unsigned n,
+                                            bool measure = true);
+
+/// Figure 2: HB(3,8) vs HD(3,11) vs HD(6,8). `exact_diameters` enables the
+/// full all-sources BFS on the two (non-vertex-transitive) hyper-deBruijn
+/// instances (~seconds).
+[[nodiscard]] ComparisonTable figure2_table(bool exact_diameters = true);
+
+/// Writes an aligned two-line-per-cell ("paper | measured") ASCII rendering.
+void print_table(std::ostream& os, const ComparisonTable& table);
+
+}  // namespace hbnet

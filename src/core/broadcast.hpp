@@ -1,0 +1,45 @@
+// One-to-all broadcast in HB(m,n) -- the paper's announced future-work item
+// ("we have also recently developed an asymptotically optimal broadcasting
+// algorithm for this proposed network"). No algorithm is given in the paper,
+// so we provide two and measure them against the single-port lower bound
+// max(ceil(log2 N), diameter-ish):
+//
+//  * structured: m rounds of the classical binomial-tree broadcast across
+//    the hypercube dimension, then all 2^m butterfly layers broadcast in
+//    parallel with a greedy single-port schedule computed once on B_n.
+//    Rounds = m + rounds(B_n); since rounds(B_n) is O(n) and
+//    log2 N = m + n + log2 n, this is asymptotically optimal.
+//  * greedy: a global greedy single-port schedule on the whole graph
+//    (each round every informed vertex informs one uninformed neighbor,
+//    preferring neighbors with uninformed second neighborhoods).
+#pragma once
+
+#include <cstdint>
+
+#include "core/hyper_butterfly.hpp"
+
+namespace hbnet {
+
+/// Outcome of a broadcast schedule simulation.
+struct BroadcastResult {
+  unsigned rounds = 0;
+  std::uint64_t informed = 0;  // vertices informed at the end
+  bool complete = false;       // informed == num_nodes
+};
+
+/// Single-port lower bound: every round at most doubles the informed set.
+[[nodiscard]] unsigned broadcast_lower_bound(const HyperButterfly& hb);
+
+/// Greedy global single-port schedule from `source`.
+[[nodiscard]] BroadcastResult hb_greedy_broadcast(const HyperButterfly& hb,
+                                                  HbNode source);
+
+/// Binomial-across-cube then per-layer butterfly schedule from `source`.
+[[nodiscard]] BroadcastResult hb_structured_broadcast(const HyperButterfly& hb,
+                                                      HbNode source);
+
+/// Greedy single-port broadcast rounds for a materialized graph (helper for
+/// the per-layer butterfly schedule and for baseline comparisons).
+[[nodiscard]] unsigned greedy_broadcast_rounds(const Graph& g, NodeId source);
+
+}  // namespace hbnet

@@ -1,0 +1,117 @@
+#include "core/collectives.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/routing.hpp"
+#include "graph/bfs.hpp"
+
+namespace hbnet {
+
+unsigned all_port_broadcast_rounds(const HyperButterfly& hb, HbNode source) {
+  return hb_eccentricity(hb, source);
+}
+
+GossipResult hb_gossip(const HyperButterfly& hb) {
+  Graph g = hb.to_graph();
+  const NodeId n = g.num_nodes();
+  std::vector<std::unordered_set<std::int64_t>> known(n);
+  const unsigned diameter_bound =
+      hb.cube_dimension() + 3 * hb.butterfly_dimension() / 2;
+
+  Protocol p;
+  p.on_init = [&known](ProcessContext& ctx) {
+    known[ctx.id()].insert(static_cast<std::int64_t>(ctx.id()));
+    ctx.send_all({static_cast<std::int64_t>(ctx.id())});
+  };
+  p.on_round = [&known](ProcessContext& ctx,
+                        const std::vector<Delivery>& in) {
+    Payload fresh;
+    for (const Delivery& d : in) {
+      for (std::int64_t id : d.payload) {
+        if (known[ctx.id()].insert(id).second) fresh.push_back(id);
+      }
+    }
+    if (!fresh.empty()) ctx.send_all(fresh);
+  };
+  GossipResult result;
+  result.run = run_protocol(g, p, diameter_bound + 2);
+  result.complete = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (known[v].size() != n) {
+      result.complete = false;
+      break;
+    }
+  }
+  return result;
+}
+
+AllreduceResult hb_tree_allreduce(const HyperButterfly& hb) {
+  Graph g = hb.to_graph();
+  const NodeId n = g.num_nodes();
+  // BFS spanning tree from the identity (centralized precompute; the
+  // protocol itself is fully distributed given parent/children links).
+  BfsResult tree = bfs(g, 0);
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 1; v < n; ++v) children[tree.parent[v]].push_back(v);
+  auto link_to = [&g](NodeId v, NodeId w) {
+    auto adj = g.neighbors(v);
+    return static_cast<std::uint32_t>(
+        std::lower_bound(adj.begin(), adj.end(), w) - adj.begin());
+  };
+
+  std::vector<std::int64_t> acc(n);       // partial sums
+  std::vector<std::uint32_t> waiting(n);  // children not yet reported
+  std::vector<std::int64_t> result(n, -1);
+
+  Protocol p;
+  p.on_init = [&](ProcessContext& ctx) {
+    NodeId v = ctx.id();
+    acc[v] = static_cast<std::int64_t>(v);
+    waiting[v] = static_cast<std::uint32_t>(children[v].size());
+    if (waiting[v] == 0 && v != 0) {
+      ctx.send(link_to(v, tree.parent[v]), {acc[v], /*up=*/1});
+    }
+  };
+  p.on_round = [&](ProcessContext& ctx, const std::vector<Delivery>& in) {
+    NodeId v = ctx.id();
+    for (const Delivery& d : in) {
+      if (d.payload[1] == 1) {  // convergecast contribution
+        acc[v] += d.payload[0];
+        --waiting[v];
+        if (waiting[v] == 0) {
+          if (v == 0) {
+            result[0] = acc[0];  // root has the total: start broadcast
+            for (NodeId c : children[0]) {
+              ctx.send(link_to(0, c), {acc[0], /*up=*/0});
+            }
+            ctx.halt();
+          } else {
+            ctx.send(link_to(v, tree.parent[v]), {acc[v], 1});
+          }
+        }
+      } else {  // downward total
+        result[v] = d.payload[0];
+        for (NodeId c : children[v]) {
+          ctx.send(link_to(v, c), {d.payload[0], 0});
+        }
+        ctx.halt();
+      }
+    }
+  };
+  AllreduceResult r;
+  r.run = run_protocol(g, p);
+  const std::int64_t expect =
+      static_cast<std::int64_t>(n) * (static_cast<std::int64_t>(n) - 1) / 2;
+  r.correct = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (result[v] != expect) {
+      r.correct = false;
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace hbnet

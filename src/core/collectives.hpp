@@ -1,0 +1,44 @@
+// Collective communication on HB(m,n) beyond single-port broadcast:
+// all-port broadcast (every informed node may inform all neighbors each
+// round -- completes in exactly the source eccentricity) and gossip
+// (all-to-all broadcast) measured on the synchronous engine.
+#pragma once
+
+#include <cstdint>
+
+#include "core/hyper_butterfly.hpp"
+#include "distsim/engine.hpp"
+
+namespace hbnet {
+
+/// Rounds for all-port broadcast from `source`: exactly the eccentricity of
+/// the source (BFS depth), which is optimal in the all-port model.
+[[nodiscard]] unsigned all_port_broadcast_rounds(const HyperButterfly& hb,
+                                                 HbNode source);
+
+/// Outcome of a gossip run.
+struct GossipResult {
+  RunResult run;
+  bool complete = false;  // every node learned every id
+};
+
+/// All-to-all broadcast by flooding-with-sets on the engine: each node
+/// forwards newly learned ids to all neighbors each round. Completes in
+/// diameter rounds; message count is the interesting measurement.
+/// Intended for small instances (state is O(N) ids per node).
+[[nodiscard]] GossipResult hb_gossip(const HyperButterfly& hb);
+
+/// Outcome of a tree allreduce.
+struct AllreduceResult {
+  RunResult run;
+  bool correct = false;  // every node ended with the true global sum
+};
+
+/// Global-sum allreduce over a BFS spanning tree rooted at the identity:
+/// convergecast partial sums up the tree, broadcast the total back down.
+/// 2(N-1) messages and ~2*depth rounds -- the ASCEND-class collective the
+/// paper's multiprocessor context calls for. Each node contributes its own
+/// id; correctness checks the closed form N(N-1)/2 at every node.
+[[nodiscard]] AllreduceResult hb_tree_allreduce(const HyperButterfly& hb);
+
+}  // namespace hbnet

@@ -1,0 +1,74 @@
+// Section 4 of the paper: embeddings in HB(m,n).
+//
+// Everything here is *constructive* and returns explicit vertex maps that
+// tests validate with graph/embedding_check.hpp:
+//
+//  * even cycles of every length 4..n*2^(m+n) (Lemma 2), via a snake walk
+//    inside the product of a hypercube Gray cycle and a butterfly cycle;
+//  * wrap-around meshes (tori) M(a, c) as true subgraphs;
+//  * the double-rooted complete binary tree DRT(k) spanning H_k (the
+//    classical Leighton construction, implemented with an explicit
+//    transposition automorphism at every doubling step), giving
+//    T(h) in H_{h+1} -- the paper's Figure-1 hypercube row T(m+n-1);
+//  * the natural butterfly tree T(h) in B_n for h <= n;
+//  * T(m+n-2) in HB(m,n) by grafting the butterfly tree onto the hypercube
+//    tree (the paper's T(m+n-1) needs Lemma 3's T(n+1) in B_n, which we
+//    audit by exact search instead -- see EXPERIMENTS.md);
+//  * meshes of trees MT(2^p, 2^q) for 1 <= p <= m-2, 1 <= q <= n-1
+//    (Theorem 4 / Lemma 4).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+
+/// A cycle of even length k, 4 <= k <= n*2^(m+n), as an HB vertex sequence
+/// (closed implicitly; the first vertex is not repeated). Lemma 2.
+[[nodiscard]] std::vector<HbNode> hb_even_cycle(const HyperButterfly& hb,
+                                                std::uint64_t k);
+
+/// Embedding of the wrap-around mesh M(a, c): element [r][col] is the HB
+/// vertex hosting torus vertex (r, col). Requires a even in [4, 2^m] (or
+/// a == 2 for the degenerate two-layer "mesh", in which row wrap edges
+/// coincide with row edges) and c a realizable butterfly cycle length
+/// (c = k*n + 2*k', k >= 1, k + k' <= 2^n).
+[[nodiscard]] std::vector<std::vector<HbNode>> hb_torus(
+    const HyperButterfly& hb, std::uint32_t a, std::uint32_t k,
+    std::uint32_t k_prime);
+
+/// Snake cycle of even length k inside an R x C grid (R even >= 2, C >= 2,
+/// 4 <= k <= R*C): returns (row, col) pairs in cycle order using only
+/// grid edges. Shared helper for the cycle embeddings; exposed for tests.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+grid_snake_cycle(std::uint32_t rows, std::uint32_t cols, std::uint64_t k);
+
+/// The double-rooted complete binary tree DRT(k) spanning H_k. Returned as
+/// positions indexed like make_double_rooted_tree(): [0]=root1, [1]=root2,
+/// then the two heap-ordered T(k-1) subtrees.
+[[nodiscard]] std::vector<CubeWord> drt_in_hypercube(unsigned k);
+
+/// T(h) (2^h - 1 vertices, heap-indexed) as a subgraph of H_{h+1}.
+[[nodiscard]] std::vector<CubeWord> tree_in_hypercube(unsigned h);
+
+/// T(h) (heap-indexed) as a subgraph of B_n, h <= n: the natural tree
+/// rooted at (root_word, 0) with children via g and f.
+[[nodiscard]] std::vector<BflyNode> tree_in_butterfly(const Butterfly& bf,
+                                                      unsigned h,
+                                                      std::uint32_t root_word = 0);
+
+/// T(m+n-2) (heap-indexed) as a subgraph of HB(m,n): hypercube tree T(m-1)
+/// on top, butterfly trees T(n) grafted below each hypercube-tree leaf.
+[[nodiscard]] std::vector<HbNode> tree_in_hb(const HyperButterfly& hb);
+
+/// MT(2^p, 2^q) (indexed per MeshOfTreesIndex) as a subgraph of HB(m,n),
+/// for 1 <= p <= m-2 and 1 <= q <= n-1 (Theorem 4 via Lemma 4).
+[[nodiscard]] std::vector<HbNode> mesh_of_trees_in_hb(const HyperButterfly& hb,
+                                                      unsigned p, unsigned q);
+
+}  // namespace hbnet

@@ -1,0 +1,43 @@
+#include "core/fault_routing.hpp"
+
+#include <algorithm>
+
+namespace hbnet {
+
+FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
+                                     HbNode v, const HbFaultSet& faults,
+                                     bool bfs_fallback) {
+  FaultRouteResult r;
+  if (faults.contains(hb, u) || faults.contains(hb, v)) return r;
+  if (u == v) {
+    r.path = {u};
+    return r;
+  }
+  std::vector<std::vector<HbNode>> family = hb.disjoint_paths(u, v);
+  // Prefer short paths: inspect the family in increasing length order.
+  std::sort(family.begin(), family.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  for (const auto& path : family) {
+    ++r.paths_tried;
+    bool clean = true;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (faults.contains(hb, path[i])) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      r.path = path;
+      return r;
+    }
+  }
+  if (bfs_fallback) {
+    if (auto p = hb_bfs_path(hb, u, v, &faults)) {
+      r.path = std::move(*p);
+      r.used_fallback = true;
+    }
+  }
+  return r;
+}
+
+}  // namespace hbnet

@@ -1,0 +1,38 @@
+// Fault-tolerant routing in HB(m,n) (Remark 10 of the paper).
+//
+// Because HB(m,n) has m+4 internally vertex-disjoint paths between every
+// vertex pair (Theorem 5) and is (m+4)-regular, it tolerates any m+3 node
+// faults: at least one of the constructed disjoint paths is fault free.
+// route_around_faults() materializes the Theorem-5 family and returns the
+// shortest fault-free member; this is the paper's "optimal routing scheme in
+// the presence of maximal number of allowable faults". A BFS reference
+// (hb_bfs_path with faults) is available for cross-checking optimality and
+// for fault sets beyond the guarantee.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+#include "core/routing.hpp"
+
+namespace hbnet {
+
+/// Statistics of a fault-routing attempt.
+struct FaultRouteResult {
+  std::vector<HbNode> path;      // empty when no path was found
+  unsigned paths_tried = 0;      // disjoint paths inspected
+  bool used_fallback = false;    // true if BFS fallback produced the path
+  [[nodiscard]] bool ok() const { return !path.empty(); }
+};
+
+/// Routes u -> v avoiding `faults` using the Theorem-5 disjoint-path family;
+/// picks the shortest fault-free family member. If every family member is
+/// blocked (only possible when |faults| > m+3 or endpoints are faulty) and
+/// `bfs_fallback` is set, falls back to BFS on the implicit fault-free graph.
+[[nodiscard]] FaultRouteResult route_around_faults(const HyperButterfly& hb,
+                                                   HbNode u, HbNode v,
+                                                   const HbFaultSet& faults,
+                                                   bool bfs_fallback = true);
+
+}  // namespace hbnet

@@ -1,0 +1,89 @@
+#include "core/node_to_set.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/maxflow.hpp"
+
+namespace hbnet {
+
+NodeToSetResult node_to_set_paths_on(const HyperButterfly& hb, const Graph& g,
+                                     HbNode u,
+                                     const std::vector<HbNode>& targets) {
+  NodeToSetResult result;
+  if (targets.empty() || targets.size() > hb.degree()) {
+    throw std::invalid_argument("node_to_set_paths: need 1 <= |S| <= m+4");
+  }
+  std::unordered_set<HbIndex> target_set;
+  for (const HbNode& t : targets) {
+    if (t == u || !target_set.insert(hb.index_of(t)).second) {
+      return result;  // duplicate target or u in S: infeasible as specified
+    }
+  }
+  const NodeId n = g.num_nodes();
+  const NodeId src = static_cast<NodeId>(hb.index_of(u));
+
+  // Vertex-split network plus a super sink 2n. Every vertex except the
+  // source has unit capacity -- including the targets, whose single unit
+  // must feed their sink arc, so no flow can pass *through* a target and
+  // the decomposition is vertex disjoint everywhere except at u.
+  Dinic dinic(2 * n + 1);
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+  const std::uint32_t super_sink = 2 * n;
+  for (NodeId v = 0; v < n; ++v) {
+    dinic.add_arc(2 * v, 2 * v + 1, v == src ? kInf : 1);
+  }
+  std::vector<std::vector<std::uint32_t>> out_arcs(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b : g.neighbors(a)) {
+      out_arcs[a].push_back(dinic.add_arc(2 * a + 1, 2 * b, 1));
+    }
+  }
+  for (HbIndex t : target_set) {
+    dinic.add_arc(2 * static_cast<NodeId>(t) + 1, super_sink, 1);
+  }
+  std::int64_t want = static_cast<std::int64_t>(targets.size());
+  std::int64_t flow = dinic.max_flow(2 * src + 1, super_sink, want);
+  if (flow < want) return result;  // cannot happen for valid inputs (Menger)
+
+  // Decompose: walk saturated graph arcs from u; a walk ends on reaching a
+  // target (each target's only unit of flow goes to the super sink, so it
+  // has no saturated graph out-arc).
+  std::vector<std::vector<std::uint32_t>> flow_out(n);
+  for (NodeId a = 0; a < n; ++a) {
+    for (std::uint32_t arc : out_arcs[a]) {
+      if (dinic.flow_on(arc) > 0) flow_out[a].push_back(arc);
+    }
+  }
+  std::vector<std::vector<HbNode>> found;
+  for (std::int64_t k = 0; k < flow; ++k) {
+    std::vector<HbNode> path{u};
+    NodeId cur = src;
+    while (target_set.count(cur) == 0) {
+      std::uint32_t arc = flow_out[cur].back();
+      flow_out[cur].pop_back();
+      cur = dinic.arc_to(arc) / 2;
+      path.push_back(hb.node_at(cur));
+    }
+    found.push_back(std::move(path));
+  }
+  // Order results to match `targets`.
+  result.paths.resize(targets.size());
+  for (auto& p : found) {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (p.back() == targets[i]) {
+        result.paths[i] = std::move(p);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+NodeToSetResult node_to_set_paths(const HyperButterfly& hb, HbNode u,
+                                  const std::vector<HbNode>& targets) {
+  return node_to_set_paths_on(hb, hb.to_graph(), u, targets);
+}
+
+}  // namespace hbnet

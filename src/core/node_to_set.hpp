@@ -1,0 +1,40 @@
+// Node-to-set vertex-disjoint paths in HB(m,n).
+//
+// The one-to-many generalization of Theorem 5 (cf. the authors' companion
+// technical report "Node-to-Set Vertex Disjoint Paths in Hypercube
+// Networks", Latifi, Ko & Srimani): given a source u and a set S of up to
+// m+4 distinct targets (u not in S), find |S| paths from u to each member
+// of S that are vertex disjoint except at u. By Menger's theorem the
+// (m+4)-connectivity of HB guarantees such a family exists; we compute it
+// with unit-capacity max flow from u to a super-sink over S on the
+// materialized graph, which is exact and also yields a natural fallback
+// certificate when |S| exceeds the connectivity.
+#pragma once
+
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+
+namespace hbnet {
+
+/// Result of a node-to-set query.
+struct NodeToSetResult {
+  /// paths[i] runs from u to targets[i] (order preserved); empty family if
+  /// infeasible (only possible with duplicate targets or u in S).
+  std::vector<std::vector<HbNode>> paths;
+  [[nodiscard]] bool ok() const { return !paths.empty(); }
+};
+
+/// Computes |S| paths u -> S, pairwise vertex disjoint except at u.
+/// Requires 1 <= |S| <= m+4, targets distinct and != u, and the instance
+/// small enough to materialize (n*2^(m+n) <= 2^31). Materializes the graph
+/// internally; for repeated queries use the overload below.
+[[nodiscard]] NodeToSetResult node_to_set_paths(
+    const HyperButterfly& hb, HbNode u, const std::vector<HbNode>& targets);
+
+/// Same, against a pre-materialized hb.to_graph().
+[[nodiscard]] NodeToSetResult node_to_set_paths_on(
+    const HyperButterfly& hb, const Graph& g, HbNode u,
+    const std::vector<HbNode>& targets);
+
+}  // namespace hbnet

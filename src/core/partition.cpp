@@ -1,0 +1,119 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbnet {
+
+std::vector<SubHyperButterfly> cube_split(const HyperButterfly& hb,
+                                          unsigned sub_m) {
+  if (sub_m < 1 || sub_m > hb.cube_dimension()) {
+    throw std::invalid_argument("cube_split: need 1 <= sub_m <= m");
+  }
+  const unsigned k = hb.cube_dimension() - sub_m;
+  std::vector<SubHyperButterfly> parts;
+  parts.reserve(std::size_t{1} << k);
+  for (CubeWord prefix = 0; prefix < (CubeWord{1} << k); ++prefix) {
+    parts.push_back({sub_m, prefix});
+  }
+  return parts;
+}
+
+bool verify_cube_split(const HyperButterfly& hb, unsigned sub_m) {
+  const auto parts = cube_split(hb, sub_m);
+  HyperButterfly sub(sub_m, hb.butterfly_dimension());
+  // Edge preservation: every generator image in the abstract copy lifts to
+  // a generator image in the parent with the same prefix.
+  for (const SubHyperButterfly& part : parts) {
+    for (HbIndex id = 0; id < sub.num_nodes(); id += 7) {  // strided sample
+      HbNode v = sub.node_at(id);
+      HbNode lifted = part.lift(v);
+      if (!part.contains_cube(lifted.cube)) return false;
+      if (!(part.lower(lifted) == v)) return false;
+      auto sub_nbrs = sub.neighbors(v);
+      for (const HbNode& w : sub_nbrs) {
+        // lift(w) must be a neighbor of lift(v) in the parent.
+        HbNode lw = part.lift(w);
+        bool found = false;
+        for (const HbNode& pn : hb.neighbors(lifted)) {
+          if (pn == lw) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+  }
+  // Vertex disjointness is structural: distinct prefixes.
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (parts[i].prefix == parts[i + 1].prefix) return false;
+  }
+  return true;
+}
+
+PartitionAllocator::PartitionAllocator(const HyperButterfly& hb)
+    : m_(hb.cube_dimension()), free_(m_ + 1), granted_(m_ + 1) {
+  free_[m_].push_back(0);  // one block: the whole machine
+}
+
+std::optional<SubHyperButterfly> PartitionAllocator::allocate(unsigned sub_m) {
+  if (sub_m > m_) return std::nullopt;
+  // Find the smallest free block of size >= sub_m, splitting down.
+  unsigned k = sub_m;
+  while (k <= m_ && free_[k].empty()) ++k;
+  if (k > m_) return std::nullopt;
+  CubeWord prefix = free_[k].back();
+  free_[k].pop_back();
+  while (k > sub_m) {
+    --k;
+    // Split: block `prefix` of order k+1 becomes buddies 2*prefix and
+    // 2*prefix+1 of order k; keep the high buddy free.
+    prefix = static_cast<CubeWord>(prefix << 1);
+    free_[k].push_back(prefix | 1);
+  }
+  in_use_ += std::uint64_t{1} << sub_m;
+  granted_[sub_m].push_back(prefix);
+  return SubHyperButterfly{sub_m, prefix};
+}
+
+void PartitionAllocator::release(const SubHyperButterfly& part) {
+  if (part.sub_m > m_) {
+    throw std::invalid_argument("PartitionAllocator::release: foreign block");
+  }
+  unsigned k = part.sub_m;
+  CubeWord prefix = part.prefix;
+  if (prefix >= (CubeWord{1} << (m_ - k))) {
+    throw std::invalid_argument("PartitionAllocator::release: bad prefix");
+  }
+  // The block must be exactly one we granted and have not released yet;
+  // this rejects double frees AND never-granted (e.g. parent-of-granted)
+  // blocks, which the free-list scan alone would let through.
+  auto it = std::find(granted_[k].begin(), granted_[k].end(), prefix);
+  if (it == granted_[k].end()) {
+    throw std::invalid_argument(
+        "PartitionAllocator::release: block was not granted (double free or "
+        "foreign block)");
+  }
+  granted_[k].erase(it);
+  in_use_ -= std::uint64_t{1} << k;
+  // Coalesce with the buddy while possible.
+  while (k < m_) {
+    CubeWord buddy = prefix ^ 1;
+    auto it = std::find(free_[k].begin(), free_[k].end(), buddy);
+    if (it == free_[k].end()) break;
+    free_[k].erase(it);
+    prefix >>= 1;
+    ++k;
+  }
+  free_[k].push_back(prefix);
+}
+
+std::optional<unsigned> PartitionAllocator::largest_free() const {
+  for (unsigned k = m_ + 1; k-- > 0;) {
+    if (!free_[k].empty()) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hbnet

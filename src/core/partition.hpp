@@ -1,0 +1,85 @@
+// Partitionability and scalability of HB(m,n) (Section 1's "scalable" and
+// Remark 5's decompositions).
+//
+// Three decompositions are exposed:
+//  * cube-split: fixing k of the m hypercube bits splits HB(m,n) into 2^k
+//    vertex-disjoint copies of HB(m-k,n) -- this is what makes the family
+//    incrementally scalable (double the machine by adding one cube
+//    dimension, keep the butterfly/router design unchanged);
+//  * butterfly layers: the 2^m disjoint copies of B_n (same cube label);
+//  * hypercube layers: the n*2^n disjoint copies of H_m (same butterfly
+//    label) -- both from Remark 5.
+//
+// A buddy-style allocator hands out sub-HB(m',n) partitions to jobs, the
+// standard way such machines were space-shared.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+
+namespace hbnet {
+
+/// One sub-network of HB(m,n) obtained by fixing the top m-m' cube bits to
+/// `prefix`: an isomorphic copy of HB(m', n).
+struct SubHyperButterfly {
+  unsigned sub_m = 0;        // cube dimension of the copy
+  CubeWord prefix = 0;       // fixed top bits (value of bits sub_m..m-1)
+  /// True iff `v` (of the parent network) belongs to this copy.
+  [[nodiscard]] bool contains_cube(CubeWord h) const {
+    return (h >> sub_m) == prefix;
+  }
+  /// Maps a vertex of the abstract HB(sub_m, n) into the parent network.
+  [[nodiscard]] HbNode lift(HbNode v) const {
+    return {static_cast<CubeWord>((prefix << sub_m) | v.cube), v.bfly};
+  }
+  /// Inverse of lift (caller must check contains_cube first).
+  [[nodiscard]] HbNode lower(HbNode v) const {
+    return {static_cast<CubeWord>(v.cube & ((CubeWord{1} << sub_m) - 1)),
+            v.bfly};
+  }
+};
+
+/// All 2^(m-sub_m) disjoint HB(sub_m, n) copies of `hb`.
+[[nodiscard]] std::vector<SubHyperButterfly> cube_split(
+    const HyperButterfly& hb, unsigned sub_m);
+
+/// Verifies that a cube-split copy is isomorphic to HB(sub_m, n): checks
+/// that lift() maps every edge of the abstract copy onto an edge of the
+/// parent and that copies are vertex disjoint. Used by tests; cheap.
+[[nodiscard]] bool verify_cube_split(const HyperButterfly& hb,
+                                     unsigned sub_m);
+
+/// Buddy allocator over the cube dimension: grants sub-HB(m',n) partitions
+/// (i.e. 2^(m') cube layers each) and coalesces frees, exactly like a
+/// buddy memory allocator on the 2^m cube-prefix space.
+class PartitionAllocator {
+ public:
+  explicit PartitionAllocator(const HyperButterfly& hb);
+
+  /// Allocates one HB(sub_m, n) partition; nullopt when fragmented/full.
+  [[nodiscard]] std::optional<SubHyperButterfly> allocate(unsigned sub_m);
+
+  /// Releases a previously allocated partition. Throws on double free or
+  /// foreign partition.
+  void release(const SubHyperButterfly& part);
+
+  /// Cube layers (out of 2^m) currently allocated.
+  [[nodiscard]] std::uint64_t layers_in_use() const { return in_use_; }
+  /// Largest sub_m that allocate() could currently satisfy (-1 if none,
+  /// returned as nullopt).
+  [[nodiscard]] std::optional<unsigned> largest_free() const;
+
+ private:
+  // free_[k] = prefixes of free blocks of size 2^k cube layers (candidate
+  // HB(k, n) partitions); granted_ = blocks currently handed out, so that
+  // release() can reject double frees and never-granted blocks outright.
+  unsigned m_;
+  std::vector<std::vector<CubeWord>> free_;
+  std::vector<std::vector<CubeWord>> granted_;
+  std::uint64_t in_use_ = 0;
+};
+
+}  // namespace hbnet

@@ -1,0 +1,107 @@
+#include "core/routing.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hbnet {
+
+unsigned hb_bfs_distance(const HyperButterfly& hb, HbNode u, HbNode v,
+                         const HbFaultSet* faults) {
+  if (u == v) return 0;
+  if (faults != nullptr &&
+      (faults->contains(hb, u) || faults->contains(hb, v))) {
+    return kNoPath;
+  }
+  std::unordered_map<HbIndex, unsigned> dist;
+  std::vector<HbNode> frontier{u}, next;
+  dist[hb.index_of(u)] = 0;
+  unsigned level = 0;
+  const HbIndex target = hb.index_of(v);
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const HbNode& x : frontier) {
+      for (const HbNode& y : hb.neighbors(x)) {
+        HbIndex id = hb.index_of(y);
+        if (id == target) return level;
+        if (dist.count(id) != 0) continue;
+        if (faults != nullptr && faults->contains(hb, y)) continue;
+        dist.emplace(id, level);
+        next.push_back(y);
+      }
+    }
+    frontier.swap(next);
+  }
+  return kNoPath;
+}
+
+std::optional<std::vector<HbNode>> hb_bfs_path(const HyperButterfly& hb,
+                                               HbNode u, HbNode v,
+                                               const HbFaultSet* faults) {
+  if (faults != nullptr &&
+      (faults->contains(hb, u) || faults->contains(hb, v))) {
+    return std::nullopt;
+  }
+  if (u == v) return std::vector<HbNode>{u};
+  std::unordered_map<HbIndex, HbIndex> parent;  // child -> parent
+  std::vector<HbNode> frontier{u}, next;
+  parent[hb.index_of(u)] = hb.index_of(u);
+  const HbIndex target = hb.index_of(v);
+  bool found = false;
+  while (!frontier.empty() && !found) {
+    next.clear();
+    for (const HbNode& x : frontier) {
+      for (const HbNode& y : hb.neighbors(x)) {
+        HbIndex id = hb.index_of(y);
+        if (parent.count(id) != 0) continue;
+        if (faults != nullptr && faults->contains(hb, y)) continue;
+        parent[id] = hb.index_of(x);
+        if (id == target) {
+          found = true;
+          break;
+        }
+        next.push_back(y);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  if (!found) return std::nullopt;
+  std::vector<HbNode> path;
+  HbIndex cur = target;
+  while (true) {
+    path.push_back(hb.node_at(cur));
+    HbIndex p = parent.at(cur);
+    if (p == cur) break;
+    cur = p;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+unsigned hb_eccentricity(const HyperButterfly& hb, HbNode u) {
+  std::unordered_map<HbIndex, unsigned> dist;
+  std::vector<HbNode> frontier{u}, next;
+  dist[hb.index_of(u)] = 0;
+  unsigned level = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    for (const HbNode& x : frontier) {
+      for (const HbNode& y : hb.neighbors(x)) {
+        HbIndex id = hb.index_of(y);
+        if (dist.count(id) != 0) continue;
+        dist.emplace(id, level + 1);
+        next.push_back(y);
+      }
+    }
+    if (!next.empty()) ++level;
+    frontier.swap(next);
+  }
+  return level;
+}
+
+unsigned hb_diameter_measured(const HyperButterfly& hb) {
+  return hb_eccentricity(hb, HbNode{0, {0, 0}});
+}
+
+}  // namespace hbnet

@@ -1,0 +1,49 @@
+// Implicit-graph search over HB(m,n): BFS distance / eccentricity without
+// materializing the (potentially huge) graph, used to validate the routing
+// algorithm and the diameter formula, and as the reference for fault-tolerant
+// routing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/hyper_butterfly.hpp"
+
+namespace hbnet {
+
+/// A set of faulty vertices of an HB instance.
+class HbFaultSet {
+ public:
+  void add(const HyperButterfly& hb, HbNode v) { faulty_.insert(hb.index_of(v)); }
+  [[nodiscard]] bool contains(const HyperButterfly& hb, HbNode v) const {
+    return faulty_.count(hb.index_of(v)) != 0;
+  }
+  [[nodiscard]] std::size_t size() const { return faulty_.size(); }
+  void clear() { faulty_.clear(); }
+
+ private:
+  std::unordered_set<HbIndex> faulty_;
+};
+
+/// BFS distance on the implicit HB graph (exact reference for
+/// HyperButterfly::distance). kNoPath when disconnected by faults.
+inline constexpr unsigned kNoPath = ~0u;
+
+[[nodiscard]] unsigned hb_bfs_distance(const HyperButterfly& hb, HbNode u,
+                                       HbNode v,
+                                       const HbFaultSet* faults = nullptr);
+
+/// One shortest path avoiding `faults`; std::nullopt when disconnected.
+[[nodiscard]] std::optional<std::vector<HbNode>> hb_bfs_path(
+    const HyperButterfly& hb, HbNode u, HbNode v,
+    const HbFaultSet* faults = nullptr);
+
+/// Eccentricity of `u` on the implicit graph (full BFS sweep).
+[[nodiscard]] unsigned hb_eccentricity(const HyperButterfly& hb, HbNode u);
+
+/// Diameter via vertex transitivity: eccentricity of the identity.
+[[nodiscard]] unsigned hb_diameter_measured(const HyperButterfly& hb);
+
+}  // namespace hbnet

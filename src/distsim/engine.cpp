@@ -1,0 +1,61 @@
+#include "distsim/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbnet {
+
+RunResult run_protocol(const Graph& g, const Protocol& protocol,
+                       std::uint64_t max_rounds) {
+  if (!protocol.on_round) {
+    throw std::invalid_argument("run_protocol: on_round is required");
+  }
+  const NodeId n = g.num_nodes();
+  std::vector<ProcessContext> ctx;
+  ctx.reserve(n);
+  for (NodeId v = 0; v < n; ++v) ctx.emplace_back(v, g.degree(v));
+
+  // Reverse link lookup: for edge (u -> v) on u's link l, the delivery at v
+  // arrives on v's link index of u.
+  auto link_of = [&g](NodeId v, NodeId neighbor) -> std::uint32_t {
+    auto adj = g.neighbors(v);
+    return static_cast<std::uint32_t>(
+        std::lower_bound(adj.begin(), adj.end(), neighbor) - adj.begin());
+  };
+
+  RunResult result;
+  std::vector<std::vector<Delivery>> inbox(n), next_inbox(n);
+
+  if (protocol.on_init) {
+    for (NodeId v = 0; v < n; ++v) protocol.on_init(ctx[v]);
+  }
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    // Move outboxes into next-round inboxes.
+    bool any_message = false;
+    for (NodeId v = 0; v < n; ++v) {
+      for (Delivery& d : ctx[v].outbox()) {
+        NodeId to = g.neighbors(v)[d.link];
+        next_inbox[to].push_back({link_of(to, v), std::move(d.payload)});
+        ++result.messages;
+        any_message = true;
+      }
+      ctx[v].outbox().clear();
+    }
+    bool all_halted = true;
+    for (NodeId v = 0; v < n; ++v) all_halted &= ctx[v].halted();
+    if (all_halted) {
+      result.all_halted = true;
+      break;
+    }
+    if (!any_message && round > 0) break;  // quiesced without halting
+    ++result.rounds;
+    inbox.swap(next_inbox);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!ctx[v].halted()) protocol.on_round(ctx[v], inbox[v]);
+      inbox[v].clear();
+    }
+  }
+  return result;
+}
+
+}  // namespace hbnet

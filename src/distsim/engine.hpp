@@ -1,0 +1,83 @@
+// Synchronous message-passing engine.
+//
+// Models the classical synchronous distributed-computing setting the
+// companion paper ("Leader Election in Hyper-Butterfly Graphs", Shi &
+// Srimani) assumes: in every round each process reads the messages
+// delivered this round, updates local state, and sends messages over its
+// incident links; all sends are delivered at the start of the next round.
+// The engine counts rounds and messages -- the two complexity measures the
+// distributed-algorithms results are stated in.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// A message payload: small vector of integers (algorithms define their own
+/// conventions for the fields).
+using Payload = std::vector<std::int64_t>;
+
+/// Delivered message: the link index it arrived on (position of the sender
+/// in the receiver's adjacency list) plus the payload.
+struct Delivery {
+  std::uint32_t link;
+  Payload payload;
+};
+
+/// Context handed to a process each round.
+class ProcessContext {
+ public:
+  ProcessContext(NodeId id, std::uint32_t degree) : id_(id), degree_(degree) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::uint32_t degree() const { return degree_; }
+
+  /// Queues a message on link `link` (delivered next round).
+  void send(std::uint32_t link, Payload payload) {
+    outbox_.push_back({link, std::move(payload)});
+  }
+  /// Queues a message on every link.
+  void send_all(const Payload& payload) {
+    for (std::uint32_t l = 0; l < degree_; ++l) outbox_.push_back({l, payload});
+  }
+  /// Marks this process as finished; the run stops when all processes halt.
+  void halt() { halted_ = true; }
+
+  // Engine-side accessors.
+  [[nodiscard]] std::vector<Delivery>& outbox() { return outbox_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+ private:
+  NodeId id_;
+  std::uint32_t degree_;
+  std::vector<Delivery> outbox_;
+  bool halted_ = false;
+};
+
+/// A distributed algorithm: per-process init and message handler.
+struct Protocol {
+  /// Called once before round 1.
+  std::function<void(ProcessContext&)> on_init;
+  /// Called every round with the messages delivered this round (possibly
+  /// empty once the algorithm is quiescing).
+  std::function<void(ProcessContext&, const std::vector<Delivery>&)> on_round;
+};
+
+/// Result of an engine run.
+struct RunResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  bool all_halted = false;  // vs. stopped by quiescence/round cap
+};
+
+/// Runs `protocol` on every vertex of `g` until all processes halt, the
+/// network quiesces (no messages in flight and nothing new sent), or
+/// `max_rounds` elapses.
+[[nodiscard]] RunResult run_protocol(const Graph& g, const Protocol& protocol,
+                                     std::uint64_t max_rounds = 1'000'000);
+
+}  // namespace hbnet

@@ -1,0 +1,36 @@
+// Leader election on HB(m,n) -- the companion-paper extension ("Leader
+// Election in Hyper-Butterfly Graphs", Shi & Srimani).
+//
+// Two algorithms over the synchronous engine:
+//  * flood_max_election: the textbook FloodMax with suppression (forward
+//    only on improvement). Works on any connected graph; terminates by
+//    quiescence; message complexity O(E * D) worst case.
+//  * hb_structured_election: exploits the product structure. Phase 1
+//    (m rounds): pairwise max-exchange along cube dimension i in round i --
+//    the classical hypercube tournament, after which all 2^m cube layers
+//    agree on the per-butterfly-position maximum. Phase 2 (floor(3n/2)
+//    rounds): full-neighborhood exchange over the four butterfly links,
+//    which floods the maximum across each butterfly copy within its
+//    diameter. Total: m + floor(3n/2) rounds and O(N (m + n)) = O(N log N)
+//    messages -- the bound the companion paper advertises.
+#pragma once
+
+#include "core/hyper_butterfly.hpp"
+#include "distsim/engine.hpp"
+
+namespace hbnet {
+
+/// Outcome of an election run.
+struct ElectionResult {
+  NodeId leader = kInvalidNode;  // max id when agreement holds
+  bool agreement = false;        // every process decided the same leader
+  RunResult run;
+};
+
+/// FloodMax with suppression on an arbitrary connected graph.
+[[nodiscard]] ElectionResult flood_max_election(const Graph& g);
+
+/// Structured two-phase election on HB(m,n) (materializes the graph).
+[[nodiscard]] ElectionResult hb_structured_election(const HyperButterfly& hb);
+
+}  // namespace hbnet

@@ -1,0 +1,157 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <stdexcept>
+
+namespace hbnet {
+
+BfsResult bfs(const Graph& g, NodeId source) {
+  std::vector<char> no_faults(g.num_nodes(), 0);
+  return bfs_avoiding(g, source, no_faults);
+}
+
+BfsResult bfs_avoiding(const Graph& g, NodeId source,
+                       const std::vector<char>& faulty) {
+  if (source >= g.num_nodes()) {
+    throw std::out_of_range("bfs: source out of range");
+  }
+  if (faulty.size() != g.num_nodes()) {
+    throw std::invalid_argument("bfs_avoiding: faulty mask size mismatch");
+  }
+  if (faulty[source]) {
+    throw std::invalid_argument("bfs_avoiding: source is faulty");
+  }
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), kUnreachable);
+  r.parent.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  r.dist[source] = 0;
+  Dist d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (r.dist[v] != kUnreachable || faulty[v]) continue;
+        r.dist[v] = d;
+        r.parent[v] = u;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  return r;
+}
+
+Dist bfs_distance(const Graph& g, NodeId s, NodeId t) {
+  if (s == t) return 0;
+  // Level-synchronous BFS with early exit the moment t is labelled.
+  std::vector<Dist> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier{s}, next;
+  dist[s] = 0;
+  Dist level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (dist[v] != kUnreachable) continue;
+        if (v == t) return level;
+        dist[v] = level;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  return kUnreachable;
+}
+
+std::optional<std::vector<NodeId>> shortest_path(const Graph& g, NodeId s,
+                                                 NodeId t) {
+  BfsResult r = bfs(g, s);
+  if (r.dist[t] == kUnreachable) return std::nullopt;
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kInvalidNode; v = r.parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Dist eccentricity(const Graph& g, NodeId source) {
+  BfsResult r = bfs(g, source);
+  Dist ecc = 0;
+  for (Dist d : r.dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Dist diameter(const Graph& g) {
+  Dist best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Dist e = eccentricity(g, v);
+    if (e == kUnreachable) return kUnreachable;
+    best = std::max(best, e);
+  }
+  return best;
+}
+
+Dist diameter_vertex_transitive(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  return eccentricity(g, 0);
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  BfsResult r = bfs(g, 0);
+  return std::none_of(r.dist.begin(), r.dist.end(),
+                      [](Dist d) { return d == kUnreachable; });
+}
+
+bool is_connected_after_removal(const Graph& g,
+                                const std::vector<char>& removed) {
+  NodeId start = kInvalidNode;
+  NodeId alive = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!removed[v]) {
+      ++alive;
+      if (start == kInvalidNode) start = v;
+    }
+  }
+  if (alive <= 1) return true;
+  BfsResult r = bfs_avoiding(g, start, removed);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!removed[v] && r.dist[v] == kUnreachable) return false;
+  }
+  return true;
+}
+
+double average_distance(const Graph& g, std::uint32_t samples,
+                        std::uint64_t seed) {
+  if (g.num_nodes() <= 1) return 0.0;
+  std::vector<NodeId> sources;
+  if (samples >= g.num_nodes()) {
+    sources.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) sources[v] = v;
+  } else {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<NodeId> pick(0, g.num_nodes() - 1);
+    for (std::uint32_t i = 0; i < samples; ++i) sources.push_back(pick(rng));
+  }
+  long double total = 0;
+  std::uint64_t pairs = 0;
+  for (NodeId s : sources) {
+    BfsResult r = bfs(g, s);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == s || r.dist[v] == kUnreachable) continue;
+      total += r.dist[v];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : static_cast<double>(total / pairs);
+}
+
+}  // namespace hbnet

@@ -1,0 +1,67 @@
+// Breadth-first search utilities: single-source distances, parents,
+// eccentricity, diameter, connectivity checks, shortest paths.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Distance value used by BFS; kUnreachable marks disconnected vertices.
+using Dist = std::uint32_t;
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+/// Result of a single-source BFS.
+struct BfsResult {
+  std::vector<Dist> dist;      // dist[v] or kUnreachable
+  std::vector<NodeId> parent;  // parent[v] on a BFS tree, kInvalidNode at root
+};
+
+/// Full single-source BFS from `source`.
+[[nodiscard]] BfsResult bfs(const Graph& g, NodeId source);
+
+/// BFS that ignores vertices marked faulty (faulty[v] == true). The source
+/// must not be faulty.
+[[nodiscard]] BfsResult bfs_avoiding(const Graph& g, NodeId source,
+                                     const std::vector<char>& faulty);
+
+/// Distance between two vertices (kUnreachable if disconnected).
+/// Uses bidirectional BFS for speed on large graphs.
+[[nodiscard]] Dist bfs_distance(const Graph& g, NodeId s, NodeId t);
+
+/// One shortest path from s to t as a vertex sequence [s, ..., t];
+/// std::nullopt if disconnected.
+[[nodiscard]] std::optional<std::vector<NodeId>> shortest_path(const Graph& g,
+                                                               NodeId s,
+                                                               NodeId t);
+
+/// Eccentricity of `source` = max distance to any vertex; kUnreachable if the
+/// graph is disconnected from `source`.
+[[nodiscard]] Dist eccentricity(const Graph& g, NodeId source);
+
+/// Exact diameter via BFS from every vertex. O(n * (n + m)); intended for the
+/// small/medium instances used in tests and table generation.
+[[nodiscard]] Dist diameter(const Graph& g);
+
+/// Exact diameter of a vertex-transitive graph: one BFS from vertex 0.
+/// Only valid when the graph is vertex transitive (Cayley graphs are).
+[[nodiscard]] Dist diameter_vertex_transitive(const Graph& g);
+
+/// True iff the graph is connected (n==0 counts as connected).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// True iff the graph stays connected after removing `removed` vertices.
+[[nodiscard]] bool is_connected_after_removal(const Graph& g,
+                                              const std::vector<char>& removed);
+
+/// Average inter-node distance from a sample of `samples` BFS sources chosen
+/// deterministically (seeded); exact if samples >= n.
+[[nodiscard]] double average_distance(const Graph& g, std::uint32_t samples,
+                                      std::uint64_t seed = 12345);
+
+}  // namespace hbnet

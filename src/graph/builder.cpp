@@ -1,0 +1,46 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hbnet {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u == v) return;  // no self loops in simple graphs
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::out_of_range("GraphBuilder::add_edge: node id out of range");
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  // Dedup on a sorted copy, then emit both directions in CSR.
+  std::vector<std::pair<NodeId, NodeId>> uniq = edges_;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (auto [u, v] : uniq) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> columns(uniq.size() * 2);
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (auto [u, v] : uniq) {
+    columns[cursor[u]++] = v;
+    columns[cursor[v]++] = u;
+  }
+  // Each row is already sorted because uniq is sorted by (u,v) for the forward
+  // direction, but reverse-direction entries arrive in u-order too; still,
+  // sort each row defensively (rows are short for bounded-degree graphs).
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    std::sort(columns.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              columns.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph(std::move(offsets), std::move(columns));
+}
+
+}  // namespace hbnet

@@ -1,0 +1,36 @@
+// Mutable edge-list builder that produces the immutable CSR Graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Accumulates undirected edges and finalizes into a Graph.
+///
+/// The builder is forgiving: self loops are dropped, duplicate edges are
+/// deduplicated and edges are symmetrized on finalize(). This lets topology
+/// generators simply emit every generator image of every vertex without
+/// worrying about double-emission.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Record the undirected edge {u, v}. Self loops are silently ignored.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Number of vertices the final graph will have.
+  [[nodiscard]] NodeId num_nodes() const { return num_nodes_; }
+
+  /// Build the CSR graph. The builder may be reused afterwards (it keeps its
+  /// accumulated edges).
+  [[nodiscard]] Graph build() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;  // stored with u < v
+};
+
+}  // namespace hbnet

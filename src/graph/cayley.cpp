@@ -1,0 +1,78 @@
+#include "graph/cayley.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace hbnet {
+
+Graph materialize(const CayleySpec& spec) {
+  GraphBuilder b(spec.num_nodes);
+  for (NodeId v = 0; v < spec.num_nodes; ++v) {
+    for (const Generator& gen : spec.generators) {
+      b.add_edge(v, gen.apply(v));
+    }
+  }
+  return b.build();
+}
+
+CayleyAudit audit(const CayleySpec& spec) {
+  CayleyAudit a;
+  const NodeId n = spec.num_nodes;
+  const std::size_t k = spec.generators.size();
+
+  // Permutation check: every generator image set has no duplicates.
+  a.generators_are_permutations = true;
+  for (const Generator& gen : spec.generators) {
+    std::vector<char> hit(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId w = gen.apply(v);
+      if (w >= n || hit[w]) {
+        a.generators_are_permutations = false;
+        break;
+      }
+      hit[w] = 1;
+    }
+    if (!a.generators_are_permutations) break;
+  }
+
+  // Fixed-point freeness and distinct actions.
+  a.fixed_point_free = true;
+  a.distinct_actions = true;
+  for (NodeId v = 0; v < n && (a.fixed_point_free || a.distinct_actions); ++v) {
+    std::vector<NodeId> images(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      images[i] = spec.generators[i].apply(v);
+      if (images[i] == v) a.fixed_point_free = false;
+    }
+    std::sort(images.begin(), images.end());
+    if (std::adjacent_find(images.begin(), images.end()) != images.end()) {
+      a.distinct_actions = false;
+    }
+  }
+
+  // Closure under inverse: for every generator sigma and vertex v there is a
+  // generator tau with tau(sigma(v)) == v. (Pointwise check; with the
+  // permutation property this is equivalent to sigma^-1 being present.)
+  a.closed_under_inverse = true;
+  for (const Generator& gen : spec.generators) {
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId w = gen.apply(v);
+      bool has_back = false;
+      for (const Generator& back : spec.generators) {
+        if (back.apply(w) == v) {
+          has_back = true;
+          break;
+        }
+      }
+      if (!has_back) {
+        a.closed_under_inverse = false;
+        break;
+      }
+    }
+    if (!a.closed_under_inverse) break;
+  }
+  return a;
+}
+
+}  // namespace hbnet

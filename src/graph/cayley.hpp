@@ -1,0 +1,52 @@
+// Generic Cayley-graph machinery.
+//
+// A Cayley graph is specified here operationally: a vertex count and a list
+// of named generator maps (total functions on vertex ids). The framework
+//   * materializes the graph into CSR form,
+//   * audits the Cayley-graph axioms used in the paper (Theorem 1 /
+//     Remark 3): every generator is a permutation, the generator set is
+//     closed under inverse (so edges are bidirectional), generators are
+//     fixed-point free, and distinct generators act distinctly on every
+//     vertex (so the graph really is regular of degree |generators|).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// One generator of a (permutation) group acting on [0, num_nodes).
+struct Generator {
+  std::string name;
+  std::function<NodeId(NodeId)> apply;
+};
+
+/// A Cayley-graph specification.
+struct CayleySpec {
+  NodeId num_nodes = 0;
+  std::vector<Generator> generators;
+};
+
+/// Outcome of auditing the Cayley axioms on a spec.
+struct CayleyAudit {
+  bool generators_are_permutations = false;
+  bool closed_under_inverse = false;  // edge set symmetric under generators
+  bool fixed_point_free = false;      // sigma(v) != v for all v, sigma
+  bool distinct_actions = false;      // sigma1(v) != sigma2(v) for sigma1 != sigma2
+  [[nodiscard]] bool all_ok() const {
+    return generators_are_permutations && closed_under_inverse &&
+           fixed_point_free && distinct_actions;
+  }
+};
+
+/// Materializes the Cayley graph of `spec` into CSR form.
+[[nodiscard]] Graph materialize(const CayleySpec& spec);
+
+/// Runs the full audit; O(|generators|^2 * n).
+[[nodiscard]] CayleyAudit audit(const CayleySpec& spec);
+
+}  // namespace hbnet

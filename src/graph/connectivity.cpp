@@ -1,0 +1,104 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+#include "graph/maxflow.hpp"
+
+namespace hbnet {
+namespace {
+
+/// Builds the vertex-split flow network: every vertex v becomes v_in = 2v,
+/// v_out = 2v+1 with a unit arc in->out (infinite for s and t); every
+/// undirected edge {u,v} becomes u_out->v_in and v_out->u_in with unit caps.
+Dinic make_split_network(const Graph& g, NodeId s, NodeId t) {
+  Dinic dinic(2 * g.num_nodes());
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    std::int32_t cap = (v == s || v == t) ? kInf : 1;
+    dinic.add_arc(2 * v, 2 * v + 1, cap);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      dinic.add_arc(2 * u + 1, 2 * v, 1);  // each direction added once
+    }
+  }
+  return dinic;
+}
+
+}  // namespace
+
+std::uint32_t max_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
+  if (s == t) throw std::invalid_argument("max_disjoint_paths: s == t");
+  Dinic dinic = make_split_network(g, s, t);
+  std::int64_t limit = std::min(g.degree(s), g.degree(t));
+  return static_cast<std::uint32_t>(
+      dinic.max_flow(2 * s + 1, 2 * t, limit + 1));
+}
+
+std::uint32_t vertex_connectivity(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n <= 1) return 0;
+  auto [min_deg, max_deg] = g.degree_range();
+  (void)max_deg;
+  std::uint32_t kappa = min_deg;
+  // Fix v0 of minimum degree. A minimum vertex cut C (|C| <= min_deg) leaves
+  // at least one vertex of {v0} union N(v0) outside C: if v0 in C, then not
+  // all of N(v0) fits in C \ {v0} (|C|-1 < min_deg <= deg(v0)). For a source
+  // s outside C, every vertex t of another component of G - C is
+  // non-adjacent to s, and kappa(s,t) = |C|. So scanning all non-neighbors
+  // of each source in {v0} union N(v0) finds the minimum cut exactly.
+  NodeId v0 = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    if (g.degree(v) < g.degree(v0)) v0 = v;
+  }
+  std::vector<NodeId> sources{v0};
+  for (NodeId u : g.neighbors(v0)) sources.push_back(u);
+  for (NodeId s : sources) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || g.has_edge(s, t)) continue;
+      kappa = std::min(kappa, max_disjoint_paths(g, s, t));
+    }
+  }
+  return kappa;
+}
+
+bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
+                                      std::uint32_t pairs, std::uint64_t seed) {
+  if (g.num_nodes() < 2) return false;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<NodeId> pick(0, g.num_nodes() - 1);
+  for (std::uint32_t i = 0; i < pairs; ++i) {
+    NodeId s = pick(rng);
+    NodeId t = pick(rng);
+    while (t == s) t = pick(rng);
+    if (max_disjoint_paths(g, s, t) < target) return false;
+  }
+  return true;
+}
+
+std::uint32_t edge_connectivity(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  if (n <= 1) return 0;
+  // lambda(G) = min over t != 0 of max-flow(0, t) on the un-split network.
+  std::uint32_t lambda = g.degree(0);
+  for (NodeId t = 1; t < n; ++t) {
+    Dinic dinic(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : g.neighbors(u)) {
+        if (u < v) {
+          dinic.add_arc(u, v, 1);
+          dinic.add_arc(v, u, 1);
+        }
+      }
+    }
+    lambda = std::min(
+        lambda, static_cast<std::uint32_t>(dinic.max_flow(
+                    0, t, static_cast<std::int64_t>(lambda) + 1)));
+  }
+  return lambda;
+}
+
+}  // namespace hbnet

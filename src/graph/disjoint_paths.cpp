@@ -1,0 +1,125 @@
+#include "graph/disjoint_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "graph/maxflow.hpp"
+
+namespace hbnet {
+
+PathFamilyCheck check_path(const Graph& g, const Path& p, NodeId s, NodeId t) {
+  PathFamilyCheck r;
+  auto fail = [&r](const std::string& msg) {
+    r.ok = false;
+    r.error = msg;
+    return r;
+  };
+  if (p.empty()) return fail("empty path");
+  if (p.front() != s) return fail("path does not start at s");
+  if (p.back() != t) return fail("path does not end at t");
+  std::unordered_set<NodeId> seen;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!seen.insert(p[i]).second) {
+      std::ostringstream os;
+      os << "repeated vertex " << p[i] << " at position " << i;
+      return fail(os.str());
+    }
+    if (i > 0 && !g.has_edge(p[i - 1], p[i])) {
+      std::ostringstream os;
+      os << "non-edge (" << p[i - 1] << "," << p[i] << ") at position " << i;
+      return fail(os.str());
+    }
+  }
+  return r;
+}
+
+PathFamilyCheck check_disjoint_paths(const Graph& g,
+                                     std::span<const Path> paths, NodeId s,
+                                     NodeId t) {
+  PathFamilyCheck r;
+  std::unordered_set<NodeId> interior;  // union of interiors seen so far
+  for (std::size_t k = 0; k < paths.size(); ++k) {
+    PathFamilyCheck single = check_path(g, paths[k], s, t);
+    if (!single.ok) {
+      std::ostringstream os;
+      os << "path " << k << ": " << single.error;
+      r.ok = false;
+      r.error = os.str();
+      return r;
+    }
+    for (std::size_t i = 1; i + 1 < paths[k].size(); ++i) {
+      if (!interior.insert(paths[k][i]).second) {
+        std::ostringstream os;
+        os << "paths share interior vertex " << paths[k][i] << " (path " << k
+           << ")";
+        r.ok = false;
+        r.error = os.str();
+        return r;
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<Path> flow_disjoint_paths(const Graph& g, NodeId s, NodeId t,
+                                      std::pair<NodeId, NodeId> forbidden_edge) {
+  // Vertex-split network: v_in = 2v, v_out = 2v+1; unit in->out arcs except
+  // at the terminals; unit arcs u_out -> v_in per direction of each edge.
+  Dinic dinic(2 * g.num_nodes());
+  constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dinic.add_arc(2 * v, 2 * v + 1, (v == s || v == t) ? kInf : 1);
+  }
+  auto is_forbidden = [&](NodeId a, NodeId b) {
+    auto [x, y] = forbidden_edge;
+    return (a == x && b == y) || (a == y && b == x);
+  };
+  // Remember, per vertex, the arc indices leaving v_out so we can walk the
+  // flow decomposition afterwards.
+  std::vector<std::vector<std::uint32_t>> out_arcs(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (is_forbidden(u, v)) continue;
+      out_arcs[u].push_back(dinic.add_arc(2 * u + 1, 2 * v, 1));
+    }
+  }
+  std::int64_t limit =
+      static_cast<std::int64_t>(std::min(g.degree(s), g.degree(t))) + 1;
+  std::int64_t flow = dinic.max_flow(2 * s + 1, 2 * t, limit);
+
+  // Decompose: from s, repeatedly follow saturated arcs, consuming them.
+  std::vector<std::vector<std::uint32_t>> flow_out(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::uint32_t arc : out_arcs[u]) {
+      if (dinic.flow_on(arc) > 0) {
+        flow_out[u].push_back(arc);
+      }
+    }
+  }
+  std::vector<Path> paths;
+  for (std::int64_t k = 0; k < flow; ++k) {
+    Path p{s};
+    NodeId cur = s;
+    while (cur != t) {
+      // Follow and consume one unit of flow out of cur.
+      std::uint32_t arc = flow_out[cur].back();
+      flow_out[cur].pop_back();
+      cur = dinic.arc_to(arc) / 2;  // v_in -> vertex id
+      p.push_back(cur);
+    }
+    paths.push_back(std::move(p));
+  }
+  return paths;
+}
+
+std::size_t max_path_length(std::span<const Path> paths) {
+  std::size_t best = 0;
+  for (const Path& p : paths) {
+    if (!p.empty()) best = std::max(best, p.size() - 1);
+  }
+  return best;
+}
+
+}  // namespace hbnet

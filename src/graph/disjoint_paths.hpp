@@ -1,0 +1,52 @@
+// Verification utilities for families of vertex-disjoint paths.
+//
+// The constructive algorithms (hypercube m paths, butterfly 4 paths,
+// hyper-butterfly m+4 paths per Theorem 5) produce explicit vertex
+// sequences; this module checks their validity against the host graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// A path as an explicit vertex sequence, endpoints included.
+using Path = std::vector<NodeId>;
+
+/// Outcome of validating a path family.
+struct PathFamilyCheck {
+  bool ok = true;
+  std::string error;  // first violation found, empty when ok
+};
+
+/// Checks a single path: consecutive vertices adjacent in g, no repeated
+/// vertex, endpoints equal to s and t.
+[[nodiscard]] PathFamilyCheck check_path(const Graph& g, const Path& p,
+                                         NodeId s, NodeId t);
+
+/// Checks that all paths are valid s-t paths and pairwise internally vertex
+/// disjoint (they may share only the endpoints s and t).
+[[nodiscard]] PathFamilyCheck check_disjoint_paths(const Graph& g,
+                                                   std::span<const Path> paths,
+                                                   NodeId s, NodeId t);
+
+/// Length (edge count) of the longest path in the family; 0 for empty.
+[[nodiscard]] std::size_t max_path_length(std::span<const Path> paths);
+
+/// Extracts a maximum family of internally vertex-disjoint s-t paths from a
+/// unit-capacity max-flow on the vertex-split network. Generic (works on any
+/// graph), exact, used both as a reference implementation and to build the
+/// butterfly disjoint-path family inside the Theorem-5 construction.
+///
+/// `forbidden_edge`: optional undirected edge the flow must not use (pass
+/// {kInvalidNode, kInvalidNode} for none). This supports the "direct edge +
+/// k-1 paths avoiding it" decomposition used when s and t are adjacent.
+[[nodiscard]] std::vector<Path> flow_disjoint_paths(
+    const Graph& g, NodeId s, NodeId t,
+    std::pair<NodeId, NodeId> forbidden_edge = {kInvalidNode, kInvalidNode});
+
+}  // namespace hbnet

@@ -1,0 +1,83 @@
+#include "graph/embedding_check.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "graph/bfs.hpp"
+
+namespace hbnet {
+namespace {
+
+bool check_injective_and_range(const Graph& guest, const Graph& host,
+                               const std::vector<NodeId>& map,
+                               EmbeddingCheck& r) {
+  if (map.size() != guest.num_nodes()) {
+    r.error = "map size != guest node count";
+    return false;
+  }
+  std::unordered_set<NodeId> image;
+  for (NodeId g = 0; g < guest.num_nodes(); ++g) {
+    if (map[g] >= host.num_nodes()) {
+      std::ostringstream os;
+      os << "guest vertex " << g << " maps out of range";
+      r.error = os.str();
+      return false;
+    }
+    if (!image.insert(map[g]).second) {
+      std::ostringstream os;
+      os << "map not injective at host vertex " << map[g];
+      r.error = os.str();
+      return false;
+    }
+  }
+  r.injective = true;
+  return true;
+}
+
+}  // namespace
+
+EmbeddingCheck check_embedding(const Graph& guest, const Graph& host,
+                               const std::vector<NodeId>& map) {
+  EmbeddingCheck r;
+  if (!check_injective_and_range(guest, host, map, r)) return r;
+  for (NodeId u = 0; u < guest.num_nodes(); ++u) {
+    for (NodeId v : guest.neighbors(u)) {
+      if (u < v && !host.has_edge(map[u], map[v])) {
+        std::ostringstream os;
+        os << "guest edge (" << u << "," << v << ") maps to host non-edge ("
+           << map[u] << "," << map[v] << ")";
+        r.error = os.str();
+        return r;
+      }
+    }
+  }
+  r.dilation_one = true;
+  r.dilation = guest.num_edges() == 0 ? 0 : 1;
+  return r;
+}
+
+EmbeddingCheck check_embedding_with_dilation(const Graph& guest,
+                                             const Graph& host,
+                                             const std::vector<NodeId>& map) {
+  EmbeddingCheck r = check_embedding(guest, host, map);
+  if (!r.injective || r.dilation_one) return r;
+  // Injective but some guest edge is stretched: measure the worst stretch.
+  r.error.clear();
+  std::uint32_t worst = 0;
+  for (NodeId u = 0; u < guest.num_nodes(); ++u) {
+    for (NodeId v : guest.neighbors(u)) {
+      if (u >= v) continue;
+      Dist d = bfs_distance(host, map[u], map[v]);
+      if (d == kUnreachable) {
+        r.error = "guest edge maps to disconnected host pair";
+        return r;
+      }
+      worst = std::max(worst, d);
+    }
+  }
+  r.dilation = worst;
+  return r;
+}
+
+}  // namespace hbnet

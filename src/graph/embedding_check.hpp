@@ -1,0 +1,35 @@
+// Embedding validation: checks that a claimed guest->host vertex map is a
+// genuine subgraph embedding (injective and edge preserving, dilation 1) or
+// measures its dilation when it is not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Result of validating an embedding of `guest` into `host`.
+struct EmbeddingCheck {
+  bool injective = false;
+  bool dilation_one = false;   // every guest edge maps onto a host edge
+  std::uint32_t dilation = 0;  // max host distance over guest edges (if
+                               // computed; 0 when dilation_one)
+  std::string error;           // first violation, empty when clean
+};
+
+/// Validates `map` as an embedding of guest into host (dilation-1 subgraph
+/// embedding check only; fast, no BFS).
+[[nodiscard]] EmbeddingCheck check_embedding(const Graph& guest,
+                                             const Graph& host,
+                                             const std::vector<NodeId>& map);
+
+/// Like check_embedding but additionally computes the true dilation (max
+/// host-graph distance over guest edges) when the map is injective but not
+/// dilation-1. Costs one BFS per guest edge in the worst case.
+[[nodiscard]] EmbeddingCheck check_embedding_with_dilation(
+    const Graph& guest, const Graph& host, const std::vector<NodeId>& map);
+
+}  // namespace hbnet

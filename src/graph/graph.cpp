@@ -1,0 +1,47 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hbnet {
+
+Graph::Graph(std::vector<std::uint64_t> row_offsets, std::vector<NodeId> columns)
+    : row_offsets_(std::move(row_offsets)), columns_(std::move(columns)) {
+  if (row_offsets_.empty()) {
+    throw std::invalid_argument("Graph: row_offsets must have >= 1 entry");
+  }
+  if (row_offsets_.front() != 0 || row_offsets_.back() != columns_.size()) {
+    throw std::invalid_argument("Graph: malformed CSR offsets");
+  }
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+std::pair<std::uint32_t, std::uint32_t> Graph::degree_range() const {
+  if (num_nodes() == 0) return {0, 0};
+  std::uint32_t lo = degree(0), hi = degree(0);
+  for (NodeId v = 1; v < num_nodes(); ++v) {
+    lo = std::min(lo, degree(v));
+    hi = std::max(hi, degree(v));
+  }
+  return {lo, hi};
+}
+
+bool Graph::is_regular() const {
+  auto [lo, hi] = degree_range();
+  return lo == hi;
+}
+
+std::string Graph::summary() const {
+  auto [lo, hi] = degree_range();
+  std::ostringstream os;
+  os << "n=" << num_nodes() << " m=" << num_edges() << " deg=[" << lo << ","
+     << hi << "]";
+  return os.str();
+}
+
+}  // namespace hbnet

@@ -1,0 +1,76 @@
+// Core immutable graph representation (compressed sparse row).
+//
+// All topology classes in this library (hypercube, butterfly, de Bruijn,
+// hyper-deBruijn, hyper-butterfly, guest graphs) can materialize themselves
+// into this representation so that generic algorithms -- BFS, eccentricity,
+// max-flow vertex connectivity, subgraph search -- run uniformly over them.
+//
+// Design notes (cf. C++ Core Guidelines Per.16/Per.19): the CSR layout keeps
+// adjacency contiguous and cache friendly; NodeId is 32-bit because every
+// instance we construct in tests and benches is far below 2^32 vertices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hbnet {
+
+/// Vertex identifier inside a materialized graph.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (used by BFS parent arrays etc.).
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Immutable undirected graph in CSR form.
+///
+/// Invariants:
+///  * adjacency of every vertex is sorted ascending,
+///  * no self loops, no parallel edges,
+///  * for every edge (u,v), v's list contains u (symmetry).
+///
+/// Use GraphBuilder to construct one; the builder deduplicates, drops self
+/// loops and symmetrizes.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(std::vector<std::uint64_t> row_offsets, std::vector<NodeId> columns);
+
+  /// Number of vertices.
+  [[nodiscard]] NodeId num_nodes() const {
+    return row_offsets_.empty() ? 0 : static_cast<NodeId>(row_offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (each stored twice internally).
+  [[nodiscard]] std::uint64_t num_edges() const { return columns_.size() / 2; }
+
+  /// Neighbors of `v`, sorted ascending.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    return {columns_.data() + row_offsets_[v],
+            columns_.data() + row_offsets_[v + 1]};
+  }
+
+  /// Degree of `v`.
+  [[nodiscard]] std::uint32_t degree(NodeId v) const {
+    return static_cast<std::uint32_t>(row_offsets_[v + 1] - row_offsets_[v]);
+  }
+
+  /// True iff (u,v) is an edge. O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Minimum and maximum degree over all vertices; {0,0} for empty graph.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> degree_range() const;
+
+  /// True iff every vertex has the same degree.
+  [[nodiscard]] bool is_regular() const;
+
+  /// Human-readable one line summary ("n=64 m=192 deg=[6,6]").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::uint64_t> row_offsets_;  // size num_nodes+1
+  std::vector<NodeId> columns_;             // size 2*num_edges
+};
+
+}  // namespace hbnet

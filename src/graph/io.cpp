@@ -1,0 +1,61 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+
+namespace hbnet {
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options) {
+  os << "graph " << options.graph_name << " {\n";
+  std::unordered_set<NodeId> lit(options.highlight.begin(),
+                                 options.highlight.end());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    bool has_label = v < options.labels.size();
+    bool is_lit = lit.count(v) != 0;
+    if (has_label || is_lit) {
+      os << " [";
+      if (has_label) os << "label=\"" << options.labels[v] << "\"";
+      if (has_label && is_lit) os << ", ";
+      if (is_lit) os << "style=filled, fillcolor=lightblue";
+      os << "]";
+    }
+    os << ";\n";
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) os << "  n" << u << " -- n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) os << u << ' ' << v << '\n';
+    }
+  }
+}
+
+std::optional<Graph> read_edge_list(std::istream& is) {
+  std::uint64_t n = 0, m = 0;
+  if (!(is >> n >> m)) return std::nullopt;
+  if (n > (std::uint64_t{1} << 32) - 1) return std::nullopt;
+  GraphBuilder b(static_cast<NodeId>(n));
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    if (!(is >> u >> v)) return std::nullopt;
+    if (u >= n || v >= n || u == v) return std::nullopt;
+    b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  Graph g = b.build();
+  if (g.num_edges() != m) return std::nullopt;  // duplicates in input
+  return g;
+}
+
+}  // namespace hbnet

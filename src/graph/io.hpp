@@ -1,0 +1,33 @@
+// Graph serialization: Graphviz DOT export (for visualization) and a plain
+// edge-list format with round-trip parsing (for interop / persistence).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Options for DOT export.
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Optional labels per vertex (defaults to the numeric id).
+  std::vector<std::string> labels;
+  /// Optional highlight set rendered filled (e.g. a path or fault set).
+  std::vector<NodeId> highlight;
+};
+
+/// Writes an undirected Graphviz description of `g`.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& options = {});
+
+/// Writes "n m" header then one "u v" line per undirected edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Parses the write_edge_list format; nullopt on malformed input
+/// (bad header, out-of-range endpoints, wrong edge count).
+[[nodiscard]] std::optional<Graph> read_edge_list(std::istream& is);
+
+}  // namespace hbnet

@@ -1,0 +1,67 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hbnet {
+
+std::uint32_t Dinic::add_arc(std::uint32_t from, std::uint32_t to,
+                             std::int32_t capacity) {
+  std::uint32_t index = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back({to, head_[from], capacity});
+  head_[from] = static_cast<std::int32_t>(index);
+  arcs_.push_back({from, head_[to], 0});
+  head_[to] = static_cast<std::int32_t>(index) + 1;
+  return index;
+}
+
+bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<std::uint32_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    std::uint32_t u = q.front();
+    q.pop();
+    for (std::int32_t a = head_[u]; a != -1; a = arcs_[a].next) {
+      if (arcs_[a].cap > 0 && level_[arcs_[a].to] < 0) {
+        level_[arcs_[a].to] = level_[u] + 1;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+std::int64_t Dinic::augment(std::uint32_t u, std::uint32_t t,
+                            std::int64_t up_to) {
+  if (u == t) return up_to;
+  for (std::int32_t& a = iter_[u]; a != -1; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.cap <= 0 || level_[arc.to] != level_[u] + 1) continue;
+    std::int64_t pushed =
+        augment(arc.to, t, std::min<std::int64_t>(up_to, arc.cap));
+    if (pushed > 0) {
+      arc.cap -= static_cast<std::int32_t>(pushed);
+      arcs_[a ^ 1].cap += static_cast<std::int32_t>(pushed);
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Dinic::max_flow(std::uint32_t s, std::uint32_t t,
+                             std::int64_t limit) {
+  std::int64_t flow = 0;
+  while (flow < limit && build_levels(s, t)) {
+    iter_ = head_;
+    while (flow < limit) {
+      std::int64_t pushed = augment(s, t, limit - flow);
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  return flow;
+}
+
+}  // namespace hbnet

@@ -1,0 +1,55 @@
+// Dinic max-flow on unit-ish capacities, with residual-graph inspection so
+// callers can decompose the final flow into vertex-disjoint paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hbnet {
+
+/// Dinic's algorithm. Vertices are dense 0-based ids supplied by the caller.
+/// Arc capacities are small signed 32-bit integers.
+class Dinic {
+ public:
+  explicit Dinic(std::uint32_t num_vertices)
+      : head_(num_vertices, -1), level_(num_vertices), iter_(num_vertices) {}
+
+  /// Adds a directed arc with the given capacity plus its zero-capacity
+  /// residual twin. Returns the arc index (twin is index^1).
+  std::uint32_t add_arc(std::uint32_t from, std::uint32_t to,
+                        std::int32_t capacity);
+
+  /// Max flow from s to t, stopping early once flow >= limit.
+  std::int64_t max_flow(std::uint32_t s, std::uint32_t t, std::int64_t limit);
+
+  /// Flow pushed through arc `arc_index` (capacity consumed).
+  [[nodiscard]] std::int32_t flow_on(std::uint32_t arc_index) const {
+    return arcs_[arc_index ^ 1].cap;  // residual of the twin == pushed flow
+  }
+
+  /// Arc target.
+  [[nodiscard]] std::uint32_t arc_to(std::uint32_t arc_index) const {
+    return arcs_[arc_index].to;
+  }
+
+  [[nodiscard]] std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(head_.size());
+  }
+
+ private:
+  struct Arc {
+    std::uint32_t to;
+    std::int32_t next;  // next arc out of the same tail, or -1
+    std::int32_t cap;   // residual capacity
+  };
+
+  bool build_levels(std::uint32_t s, std::uint32_t t);
+  std::int64_t augment(std::uint32_t u, std::uint32_t t, std::int64_t up_to);
+
+  std::vector<std::int32_t> head_;
+  std::vector<Arc> arcs_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::int32_t> iter_;
+};
+
+}  // namespace hbnet

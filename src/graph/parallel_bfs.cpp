@@ -1,0 +1,97 @@
+#include "graph/parallel_bfs.hpp"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace hbnet {
+namespace {
+
+unsigned resolve_threads(unsigned threads, NodeId work_items) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > work_items) threads = work_items == 0 ? 1 : work_items;
+  return threads;
+}
+
+/// Runs fn(source) for every vertex, work-stealing via an atomic counter.
+template <typename Fn>
+void for_each_source(const Graph& g, unsigned threads, Fn&& fn) {
+  std::atomic<NodeId> next{0};
+  auto worker = [&] {
+    // Per-worker BFS scratch reused across sources to avoid reallocation.
+    std::vector<Dist> dist(g.num_nodes());
+    std::vector<NodeId> frontier, fringe;
+    frontier.reserve(g.num_nodes());
+    fringe.reserve(g.num_nodes());
+    for (NodeId s = next.fetch_add(1); s < g.num_nodes();
+         s = next.fetch_add(1)) {
+      std::fill(dist.begin(), dist.end(), kUnreachable);
+      frontier.assign(1, s);
+      dist[s] = 0;
+      Dist level = 0;
+      while (!frontier.empty()) {
+        ++level;
+        fringe.clear();
+        for (NodeId u : frontier) {
+          for (NodeId v : g.neighbors(u)) {
+            if (dist[v] != kUnreachable) continue;
+            dist[v] = level;
+            fringe.push_back(v);
+          }
+        }
+        frontier.swap(fringe);
+      }
+      fn(s, dist);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+Dist parallel_diameter(const Graph& g, unsigned threads) {
+  if (g.num_nodes() == 0) return 0;
+  threads = resolve_threads(threads, g.num_nodes());
+  std::atomic<Dist> best{0};
+  std::atomic<bool> disconnected{false};
+  for_each_source(g, threads, [&](NodeId, const std::vector<Dist>& dist) {
+    Dist ecc = 0;
+    for (Dist d : dist) {
+      if (d == kUnreachable) {
+        disconnected.store(true, std::memory_order_relaxed);
+        return;
+      }
+      ecc = std::max(ecc, d);
+    }
+    Dist seen = best.load(std::memory_order_relaxed);
+    while (ecc > seen &&
+           !best.compare_exchange_weak(seen, ecc, std::memory_order_relaxed)) {
+    }
+  });
+  return disconnected.load() ? kUnreachable : best.load();
+}
+
+double parallel_average_distance(const Graph& g, unsigned threads) {
+  if (g.num_nodes() <= 1) return 0.0;
+  threads = resolve_threads(threads, g.num_nodes());
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> pairs{0};
+  for_each_source(g, threads, [&](NodeId s, const std::vector<Dist>& dist) {
+    std::uint64_t local = 0, count = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == s || dist[v] == kUnreachable) continue;
+      local += dist[v];
+      ++count;
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+    pairs.fetch_add(count, std::memory_order_relaxed);
+  });
+  std::uint64_t p = pairs.load();
+  return p == 0 ? 0.0 : static_cast<double>(total.load()) / static_cast<double>(p);
+}
+
+}  // namespace hbnet

@@ -1,0 +1,23 @@
+// Thread-parallel all-sources BFS sweeps: exact diameter and average
+// distance of non-vertex-transitive instances (the hyper-deBruijn columns
+// of Figure 2) at full speed. Sources are partitioned across a small
+// std::thread pool; each worker owns its BFS scratch (no shared mutable
+// state beyond the atomic reduction), so the speedup is near linear.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Exact diameter via one BFS per vertex, distributed over `threads`
+/// workers (0 = hardware concurrency). Equals diameter(g) exactly.
+[[nodiscard]] Dist parallel_diameter(const Graph& g, unsigned threads = 0);
+
+/// Exact average inter-vertex distance (all ordered pairs), parallel.
+[[nodiscard]] double parallel_average_distance(const Graph& g,
+                                               unsigned threads = 0);
+
+}  // namespace hbnet

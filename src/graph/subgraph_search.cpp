@@ -1,0 +1,132 @@
+#include "graph/subgraph_search.hpp"
+
+#include <algorithm>
+
+namespace hbnet {
+namespace {
+
+/// Backtracking state for subgraph monomorphism.
+class Searcher {
+ public:
+  Searcher(const Graph& guest, const Graph& host,
+           const SubgraphSearchOptions& options)
+      : guest_(guest), host_(host), options_(options) {
+    order_ = connectivity_order();
+    map_.assign(guest_.num_nodes(), kInvalidNode);
+    used_.assign(host_.num_nodes(), 0);
+  }
+
+  SubgraphSearchResult run() {
+    SubgraphSearchResult r;
+    bool found = extend(0);
+    r.steps = steps_;
+    r.exhaustive = !aborted_;
+    if (found) {
+      r.embedding = map_;
+      r.exhaustive = true;  // a witness is conclusive regardless of budget
+    }
+    return r;
+  }
+
+ private:
+  /// Guest vertices ordered so each (after the first) touches an earlier one;
+  /// this lets candidates be drawn from host neighborhoods instead of all of
+  /// the host. Ties broken by degree (high first) for earlier pruning.
+  std::vector<NodeId> connectivity_order() const {
+    const NodeId n = guest_.num_nodes();
+    std::vector<NodeId> order;
+    std::vector<char> placed(n, 0);
+    order.reserve(n);
+    while (order.size() < n) {
+      NodeId best = kInvalidNode;
+      std::uint32_t best_key = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (placed[v]) continue;
+        std::uint32_t attached = 0;
+        for (NodeId u : guest_.neighbors(v)) attached += placed[u];
+        // Prefer vertices attached to the placed set, then high degree.
+        std::uint32_t key = attached * 1024 + guest_.degree(v) + 1;
+        if (order.empty()) key = guest_.degree(v) + 1;
+        if (best == kInvalidNode || key > best_key) {
+          best = v;
+          best_key = key;
+        }
+      }
+      placed[best] = 1;
+      order.push_back(best);
+    }
+    return order;
+  }
+
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+      aborted_ = true;
+      return false;
+    }
+    const NodeId gv = order_[depth];
+    // Candidate host vertices: intersection of neighborhoods of the images of
+    // gv's already-placed guest neighbors (or all hosts if none placed).
+    NodeId anchor = kInvalidNode;
+    for (NodeId u : guest_.neighbors(gv)) {
+      if (map_[u] != kInvalidNode) {
+        if (anchor == kInvalidNode ||
+            host_.degree(map_[u]) < host_.degree(anchor)) {
+          anchor = map_[u];
+        }
+      }
+    }
+    auto try_candidate = [&](NodeId hv) -> bool {
+      ++steps_;
+      if (used_[hv] || host_.degree(hv) < guest_.degree(gv)) return false;
+      for (NodeId u : guest_.neighbors(gv)) {
+        if (map_[u] != kInvalidNode && !host_.has_edge(hv, map_[u])) {
+          return false;
+        }
+      }
+      map_[gv] = hv;
+      used_[hv] = 1;
+      if (extend(depth + 1)) return true;
+      map_[gv] = kInvalidNode;
+      used_[hv] = 0;
+      return false;
+    };
+    if (anchor != kInvalidNode) {
+      for (NodeId hv : host_.neighbors(anchor)) {
+        if (try_candidate(hv)) return true;
+        if (aborted_) return false;
+      }
+    } else {
+      for (NodeId hv = 0; hv < host_.num_nodes(); ++hv) {
+        if (try_candidate(hv)) return true;
+        if (aborted_) return false;
+      }
+    }
+    return false;
+  }
+
+  const Graph& guest_;
+  const Graph& host_;
+  SubgraphSearchOptions options_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> map_;
+  std::vector<char> used_;
+  std::uint64_t steps_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+SubgraphSearchResult find_subgraph(const Graph& guest, const Graph& host,
+                                   const SubgraphSearchOptions& options) {
+  if (guest.num_nodes() > host.num_nodes() ||
+      guest.num_edges() > host.num_edges()) {
+    SubgraphSearchResult r;
+    r.exhaustive = true;
+    return r;  // trivially impossible
+  }
+  Searcher s(guest, host, options);
+  return s.run();
+}
+
+}  // namespace hbnet

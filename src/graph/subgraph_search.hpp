@@ -1,0 +1,39 @@
+// Exact subgraph-isomorphism search (backtracking, VF2-flavoured pruning).
+//
+// Used to *empirically audit* the paper's embedding claims on small
+// instances -- e.g. it proves T(2) is not a subgraph of H_3 and that
+// T(n+1) cannot fit in B_3 -- and to find witness embeddings where they do
+// exist. Exponential in the worst case; intended for guests/hosts with at
+// most a few dozen vertices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// Options bounding the search.
+struct SubgraphSearchOptions {
+  /// Abort after this many backtracking steps (0 = unlimited).
+  std::uint64_t max_steps = 50'000'000;
+};
+
+/// Result of a bounded subgraph search.
+struct SubgraphSearchResult {
+  /// Embedding guest->host if one was found.
+  std::optional<std::vector<NodeId>> embedding;
+  /// True if the search space was exhausted (so "no embedding" is a proof).
+  bool exhaustive = false;
+  /// Steps spent.
+  std::uint64_t steps = 0;
+};
+
+/// Searches for guest as a (not necessarily induced) subgraph of host.
+[[nodiscard]] SubgraphSearchResult find_subgraph(
+    const Graph& guest, const Graph& host,
+    const SubgraphSearchOptions& options = {});
+
+}  // namespace hbnet

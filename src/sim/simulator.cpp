@@ -1,0 +1,218 @@
+#include "sim/simulator.hpp"
+
+#include <deque>
+#include <random>
+#include <stdexcept>
+
+namespace hbnet {
+namespace {
+
+struct Packet {
+  std::vector<std::uint32_t> path;  // source-routed vertex sequence
+  std::uint32_t hop = 0;            // index into path of current node
+  std::uint64_t injected_at = 0;
+  bool measured = false;  // injected inside the measurement window
+};
+
+}  // namespace
+
+SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
+                        const std::vector<char>& faulty) {
+  const std::uint32_t n = topo.num_nodes();
+  if (!faulty.empty() && faulty.size() != n) {
+    throw std::invalid_argument("run_simulation: fault mask size mismatch");
+  }
+  const bool have_faults = !faulty.empty();
+
+  SimStats stats;
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TrafficGenerator traffic(config.pattern, n, config.seed ^ 0x9e3779b97f4a7c15ull);
+
+  std::vector<std::deque<Packet>> queue(n);
+  const std::uint64_t horizon =
+      config.warmup_cycles + config.measure_cycles + config.drain_cycles;
+  std::uint64_t in_flight = 0;
+
+  for (std::uint64_t cycle = 0; cycle < horizon; ++cycle) {
+    const bool injecting =
+        cycle < config.warmup_cycles + config.measure_cycles;
+    const bool measuring =
+        cycle >= config.warmup_cycles && injecting;
+
+    // Injection phase.
+    if (injecting) {
+      for (std::uint32_t src = 0; src < n; ++src) {
+        if (have_faults && faulty[src]) continue;
+        if (coin(rng) >= config.injection_rate) continue;
+        std::uint32_t dst = traffic.destination(src);
+        if (have_faults && faulty[dst]) continue;  // dead destination
+        Packet pkt;
+        if (have_faults) {
+          pkt.path = topo.route_avoiding(src, dst, faulty);
+          if (pkt.path.empty()) {
+            if (measuring) {
+              stats.record_injection();
+              stats.record_drop();
+            }
+            continue;
+          }
+        } else if (config.routing == RoutingMode::kValiant && src != dst) {
+          // Valiant two-phase routing: src -> random intermediate -> dst.
+          std::uniform_int_distribution<std::uint32_t> mid(0, n - 1);
+          std::uint32_t w = mid(rng);
+          pkt.path = topo.route(src, w);
+          if (w != dst) {
+            std::vector<std::uint32_t> tail = topo.route(w, dst);
+            pkt.path.insert(pkt.path.end(), tail.begin() + 1, tail.end());
+          }
+        } else {
+          pkt.path = topo.route(src, dst);
+        }
+        pkt.injected_at = cycle;
+        pkt.measured = measuring;
+        if (measuring) stats.record_injection();
+        if (pkt.path.size() <= 1) {
+          if (pkt.measured) stats.record_delivery(0, 0);
+          continue;
+        }
+        queue[src].push_back(std::move(pkt));
+        ++in_flight;
+      }
+    }
+
+    // Forwarding phase: each node services up to service_rate head packets.
+    // Two-phase update (collect then place) keeps per-cycle semantics: a
+    // packet moves one hop per cycle at most.
+    std::vector<std::pair<std::uint32_t, Packet>> moving;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (unsigned s = 0; s < config.service_rate && !queue[v].empty(); ++s) {
+        Packet pkt = std::move(queue[v].front());
+        queue[v].pop_front();
+        ++pkt.hop;
+        std::uint32_t next = pkt.path[pkt.hop];
+        if (pkt.hop + 1 == pkt.path.size()) {
+          // Delivered at `next`.
+          if (pkt.measured) {
+            stats.record_delivery(cycle + 1 - pkt.injected_at,
+                                  pkt.path.size() - 1);
+          }
+          --in_flight;
+        } else {
+          moving.emplace_back(next, std::move(pkt));
+        }
+      }
+    }
+    for (auto& [node, pkt] : moving) {
+      queue[node].push_back(std::move(pkt));
+    }
+    if (!injecting && in_flight == 0) break;
+  }
+  return stats;
+}
+
+SimStats run_simulation_with_fault_events(const SimTopology& topo,
+                                          const SimConfig& config,
+                                          std::vector<FaultEvent> events) {
+  const std::uint32_t n = topo.num_nodes();
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.cycle < b.cycle;
+            });
+  std::vector<char> faulty(n, 0);
+  std::size_t next_event = 0;
+
+  SimStats stats;
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TrafficGenerator traffic(config.pattern, n,
+                           config.seed ^ 0x9e3779b97f4a7c15ull);
+
+  std::vector<std::deque<Packet>> queue(n);
+  const std::uint64_t horizon =
+      config.warmup_cycles + config.measure_cycles + config.drain_cycles;
+  std::uint64_t in_flight = 0;
+
+  for (std::uint64_t cycle = 0; cycle < horizon; ++cycle) {
+    // Fault arrivals: kill nodes, losing their queued packets.
+    while (next_event < events.size() && events[next_event].cycle <= cycle) {
+      std::uint32_t dead = events[next_event].node;
+      if (!faulty[dead]) {
+        faulty[dead] = 1;
+        for (const Packet& pkt : queue[dead]) {
+          if (pkt.measured) stats.record_drop();
+          --in_flight;
+        }
+        queue[dead].clear();
+      }
+      ++next_event;
+    }
+
+    const bool injecting = cycle < config.warmup_cycles + config.measure_cycles;
+    const bool measuring = cycle >= config.warmup_cycles && injecting;
+
+    if (injecting) {
+      for (std::uint32_t src = 0; src < n; ++src) {
+        if (faulty[src]) continue;
+        if (coin(rng) >= config.injection_rate) continue;
+        std::uint32_t dst = traffic.destination(src);
+        if (faulty[dst]) continue;
+        Packet pkt;
+        pkt.path = topo.route_avoiding(src, dst, faulty);
+        if (pkt.path.empty()) {
+          // Fall back to the native route when no faults are known yet (or
+          // the adapter lacks fault routing): drops are then counted below
+          // when the packet actually hits a dead hop.
+          pkt.path = topo.route(src, dst);
+        }
+        pkt.injected_at = cycle;
+        pkt.measured = measuring;
+        if (measuring) stats.record_injection();
+        if (pkt.path.size() <= 1) {
+          if (pkt.measured) stats.record_delivery(0, 0);
+          continue;
+        }
+        queue[src].push_back(std::move(pkt));
+        ++in_flight;
+      }
+    }
+
+    std::vector<std::pair<std::uint32_t, Packet>> moving;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      for (unsigned s = 0; s < config.service_rate && !queue[v].empty(); ++s) {
+        Packet pkt = std::move(queue[v].front());
+        queue[v].pop_front();
+        std::uint32_t next = pkt.path[pkt.hop + 1];
+        if (faulty[next]) {
+          // Online repair: re-source-route from here around the faults.
+          std::uint32_t dst = pkt.path.back();
+          std::vector<std::uint32_t> repaired =
+              faulty[dst] ? std::vector<std::uint32_t>{}
+                          : topo.route_avoiding(v, dst, faulty);
+          if (repaired.size() <= 1) {
+            if (pkt.measured) stats.record_drop();
+            --in_flight;
+            continue;
+          }
+          pkt.path = std::move(repaired);
+          pkt.hop = 0;
+          next = pkt.path[1];
+        }
+        ++pkt.hop;
+        if (pkt.hop + 1 == pkt.path.size()) {
+          if (pkt.measured) {
+            stats.record_delivery(cycle + 1 - pkt.injected_at, pkt.hop);
+          }
+          --in_flight;
+        } else {
+          moving.emplace_back(next, std::move(pkt));
+        }
+      }
+    }
+    for (auto& [node, pkt] : moving) queue[node].push_back(std::move(pkt));
+    if (!injecting && in_flight == 0 && next_event >= events.size()) break;
+  }
+  return stats;
+}
+
+}  // namespace hbnet

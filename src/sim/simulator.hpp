@@ -1,0 +1,64 @@
+// Synchronous source-routed store-and-forward packet simulator.
+//
+// Model (deliberately simple and deterministic -- the paper's claims are
+// about path structure, not microarchitecture):
+//  * packets are source routed with the topology's own algorithm at
+//    injection time;
+//  * every node forwards at most `service_rate` packets per cycle from its
+//    FIFO (the router bottleneck); buffers are unbounded, so contention
+//    shows up as queueing latency rather than drops;
+//  * injection is Bernoulli(rate) per node per cycle;
+//  * faulty nodes neither inject nor forward; packets are rerouted at
+//    injection with the topology's fault-tolerant algorithm when it has one
+//    (otherwise the packet is dropped and counted).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+#include "sim/traffic.hpp"
+
+namespace hbnet {
+
+/// How packets are source-routed at injection.
+enum class RoutingMode {
+  kNative,   // the topology's own (usually minimal) algorithm
+  kValiant,  // two-phase randomized: route to a random intermediate first
+             // (classic load balancing for adversarial permutations)
+};
+
+struct SimConfig {
+  double injection_rate = 0.05;  // packets/node/cycle
+  std::uint64_t warmup_cycles = 200;
+  std::uint64_t measure_cycles = 1000;
+  std::uint64_t drain_cycles = 4000;  // extra cycles to flush in-flight load
+  unsigned service_rate = 1;          // packets a node may forward per cycle
+  std::uint64_t seed = 42;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  RoutingMode routing = RoutingMode::kNative;
+};
+
+/// Runs the simulation on `topo` with optional node faults.
+/// `faulty` may be empty (no faults) or sized num_nodes().
+[[nodiscard]] SimStats run_simulation(const SimTopology& topo,
+                                      const SimConfig& config,
+                                      const std::vector<char>& faulty = {});
+
+/// A node failure occurring *during* the run.
+struct FaultEvent {
+  std::uint64_t cycle;    // when the node dies
+  std::uint32_t node;
+};
+
+/// Dynamic-fault run: nodes die mid-simulation. In-flight packets whose
+/// next hop just died are re-source-routed on the spot with the topology's
+/// fault-tolerant algorithm (dropped if it has none or no path survives);
+/// packets queued *at* a dying node are lost outright. Measures how the
+/// Theorem-5 machinery behaves online rather than only at injection time.
+[[nodiscard]] SimStats run_simulation_with_fault_events(
+    const SimTopology& topo, const SimConfig& config,
+    std::vector<FaultEvent> events);
+
+}  // namespace hbnet

@@ -1,0 +1,48 @@
+// Latency / throughput statistics for the packet simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbnet {
+
+/// Streaming summary of packet latencies plus delivery counters.
+class SimStats {
+ public:
+  void record_delivery(std::uint64_t latency, std::uint64_t hops) {
+    latencies_.push_back(latency);
+    total_hops_ += hops;
+  }
+  void record_injection() { ++injected_; }
+  void record_drop() { ++dropped_; }
+
+  [[nodiscard]] std::uint64_t delivered() const { return latencies_.size(); }
+  [[nodiscard]] std::uint64_t injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] double mean_latency() const;
+  [[nodiscard]] double mean_hops() const;
+  /// q in [0,1]; e.g. 0.99 for the tail.
+  [[nodiscard]] std::uint64_t latency_percentile(double q) const;
+  [[nodiscard]] std::uint64_t max_latency() const;
+
+  /// delivered / (cycles * nodes): accepted throughput in packets/node/cycle.
+  [[nodiscard]] double throughput(std::uint64_t cycles,
+                                  std::uint32_t nodes) const {
+    return cycles == 0 || nodes == 0
+               ? 0.0
+               : static_cast<double>(delivered()) /
+                     (static_cast<double>(cycles) * nodes);
+  }
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::vector<std::uint64_t> latencies_;
+  std::uint64_t total_hops_ = 0;
+  std::uint64_t injected_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hbnet

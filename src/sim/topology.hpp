@@ -1,0 +1,66 @@
+// Simulator-facing topology adapters.
+//
+// The packet simulator (sim/simulator.hpp) is topology agnostic: it source-
+// routes packets over any SimTopology. Adapters wrap the four networks the
+// paper compares (hypercube, wrapped butterfly, hyper-deBruijn,
+// hyper-butterfly) and expose each network's *own* routing algorithm -- not
+// BFS -- so the simulation exercises the algorithms the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fault_routing.hpp"
+#include "core/hyper_butterfly.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hyper_debruijn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+
+/// Abstract network as seen by the simulator. Node ids are dense.
+class SimTopology {
+ public:
+  virtual ~SimTopology() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::uint32_t num_nodes() const = 0;
+  [[nodiscard]] virtual unsigned degree_hint() const = 0;
+  /// Full route src -> dst (inclusive) using the network's own algorithm.
+  [[nodiscard]] virtual std::vector<std::uint32_t> route(
+      std::uint32_t src, std::uint32_t dst) const = 0;
+  /// Route avoiding faulty nodes; empty when the adapter has no
+  /// fault-tolerant algorithm or no path survives. `faulty` is indexed by
+  /// node id. Default: no support.
+  [[nodiscard]] virtual std::vector<std::uint32_t> route_avoiding(
+      std::uint32_t src, std::uint32_t dst,
+      const std::vector<char>& faulty) const {
+    (void)src;
+    (void)dst;
+    (void)faulty;
+    return {};
+  }
+};
+
+/// Hypercube H_m with greedy bit-correction routing.
+[[nodiscard]] std::unique_ptr<SimTopology> make_hypercube_sim(unsigned m);
+
+/// Wrapped butterfly B_n with exact covering-walk routing.
+[[nodiscard]] std::unique_ptr<SimTopology> make_butterfly_sim(unsigned n);
+
+/// Cube-connected cycles CCC(n) with exact visiting-walk routing
+/// (extended baseline, degree 3).
+[[nodiscard]] std::unique_ptr<SimTopology> make_ccc_sim(unsigned n);
+
+/// Hyper-deBruijn HD(m,n) with dimension-ordered cube+shift routing.
+[[nodiscard]] std::unique_ptr<SimTopology> make_hyper_debruijn_sim(unsigned m,
+                                                                   unsigned n);
+
+/// Hyper-butterfly HB(m,n) with the paper's two-phase optimal routing and
+/// Theorem-5-based fault-tolerant routing.
+[[nodiscard]] std::unique_ptr<SimTopology> make_hyper_butterfly_sim(
+    unsigned m, unsigned n);
+
+}  // namespace hbnet

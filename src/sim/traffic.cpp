@@ -1,0 +1,66 @@
+#include "sim/traffic.hpp"
+
+namespace hbnet {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kBitComplement:
+      return "bit-complement";
+    case TrafficPattern::kBitReversal:
+      return "bit-reversal";
+    case TrafficPattern::kShuffle:
+      return "shuffle";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+TrafficGenerator::TrafficGenerator(TrafficPattern pattern,
+                                   std::uint32_t num_nodes, std::uint64_t seed)
+    : pattern_(pattern),
+      num_nodes_(num_nodes),
+      bits_(0),
+      rng_(seed),
+      pick_(0, num_nodes - 1) {
+  while ((std::uint64_t{1} << bits_) < num_nodes_) ++bits_;
+}
+
+std::uint32_t TrafficGenerator::permuted(std::uint32_t src) const {
+  switch (pattern_) {
+    case TrafficPattern::kBitComplement:
+      return (~src) & ((bits_ >= 32 ? ~0u : (1u << bits_) - 1));
+    case TrafficPattern::kBitReversal: {
+      std::uint32_t out = 0;
+      for (unsigned i = 0; i < bits_; ++i) {
+        if ((src >> i) & 1u) out |= 1u << (bits_ - 1 - i);
+      }
+      return out;
+    }
+    case TrafficPattern::kShuffle:
+      return ((src << 1) | (src >> (bits_ - 1))) & ((1u << bits_) - 1);
+    default:
+      return src;
+  }
+}
+
+std::uint32_t TrafficGenerator::destination(std::uint32_t src) {
+  std::uint32_t dst;
+  switch (pattern_) {
+    case TrafficPattern::kUniform:
+      dst = pick_(rng_);
+      break;
+    case TrafficPattern::kHotspot:
+      dst = (coin_(rng_) < 0.10) ? 0u : pick_(rng_);
+      break;
+    default:
+      dst = permuted(src) % num_nodes_;
+      break;
+  }
+  if (dst == src) dst = (dst + 1) % num_nodes_;
+  return dst;
+}
+
+}  // namespace hbnet

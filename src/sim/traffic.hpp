@@ -1,0 +1,47 @@
+// Synthetic traffic patterns for the packet simulator.
+//
+// The paper's motivation is multiprocessor interconnection; since it has no
+// workload traces (1998, analytical evaluation only), we use the standard
+// synthetic patterns of the interconnection-network literature: uniform
+// random, bit-complement, bit-reversal, transpose-like shuffle, and hotspot.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace hbnet {
+
+enum class TrafficPattern {
+  kUniform,        // destination chosen uniformly at random
+  kBitComplement,  // dst = ~src (mod N)
+  kBitReversal,    // dst = reverse of src's bits (within ceil(log2 N))
+  kShuffle,        // dst = rotate-left of src's bits
+  kHotspot,        // 10%: node 0; else uniform
+};
+
+[[nodiscard]] const char* to_string(TrafficPattern p);
+
+/// Destination generator over a dense id space [0, num_nodes).
+class TrafficGenerator {
+ public:
+  TrafficGenerator(TrafficPattern pattern, std::uint32_t num_nodes,
+                   std::uint64_t seed);
+
+  /// Destination for a packet injected at `src` (never returns src).
+  [[nodiscard]] std::uint32_t destination(std::uint32_t src);
+
+  [[nodiscard]] TrafficPattern pattern() const { return pattern_; }
+
+ private:
+  [[nodiscard]] std::uint32_t permuted(std::uint32_t src) const;
+
+  TrafficPattern pattern_;
+  std::uint32_t num_nodes_;
+  unsigned bits_;
+  std::mt19937_64 rng_;
+  std::uniform_int_distribution<std::uint32_t> pick_;
+  std::uniform_real_distribution<double> coin_{0.0, 1.0};
+};
+
+}  // namespace hbnet

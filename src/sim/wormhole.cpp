@@ -1,0 +1,260 @@
+#include "sim/wormhole.hpp"
+
+#include <deque>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace hbnet {
+namespace {
+
+struct Flit {
+  std::uint32_t pkt;
+  std::uint16_t index;      // 0 = head, F-1 = tail
+  std::uint16_t hop;        // channel position in the packet's path
+  std::uint64_t last_move;  // cycle stamp to avoid double moves
+};
+
+struct VcState {
+  std::deque<Flit> buf;
+  std::int64_t owner = -1;  // packet id holding this VC, -1 = free
+};
+
+struct ChanState {
+  std::vector<VcState> vc;
+  unsigned rr = 0;  // round-robin arbiter position
+};
+
+struct PktState {
+  std::vector<std::uint32_t> path;
+  std::vector<std::uint8_t> cls;  // VC class per hop
+  std::uint64_t injected_at = 0;
+  std::uint16_t next_flit = 0;  // flits not yet streamed into hop 0
+  bool measured = false;
+};
+
+/// Per-hop VC classes from the ring structure: direction of a hop is the
+/// +-1 movement of (id % arity); a direction reversal starts a new
+/// monotone segment; crossing the wrap edge bumps the within-segment
+/// dateline bit. Non-ring hops (cube edges: level unchanged) keep the
+/// current class and do not end a segment.
+std::vector<std::uint8_t> hop_classes(const std::vector<std::uint32_t>& path,
+                                      unsigned arity, VcPolicy policy) {
+  std::vector<std::uint8_t> cls(path.size() - 1, 0);
+  if (policy == VcPolicy::kAnyFree || arity == 0) return cls;
+  int last_dir = 0;       // 0 = none yet
+  unsigned segment = 0;   // monotone segment index (0..2 for our routers)
+  unsigned wrapped = 0;   // crossed wrap within this segment
+  for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+    std::uint32_t lu = path[h] % arity, lv = path[h + 1] % arity;
+    int dir = 0;
+    bool wrap = false;
+    if (lv == (lu + 1) % arity && lu != lv) {
+      dir = 1;
+      wrap = (lu == arity - 1);
+    } else if (lu == (lv + 1) % arity && lu != lv) {
+      dir = -1;
+      wrap = (lu == 0);
+    }
+    if (dir != 0) {
+      if (last_dir != 0 && dir != last_dir) {
+        ++segment;
+        wrapped = 0;
+      }
+      last_dir = dir;
+    }
+    if (policy == VcPolicy::kDateline) {
+      cls[h] = static_cast<std::uint8_t>(wrapped ? 1 : 0);
+      if (wrap) wrapped = 1;
+    } else {  // kSegmentDateline
+      unsigned seg_capped = segment > 2 ? 2 : segment;
+      cls[h] = static_cast<std::uint8_t>(2 * seg_capped + wrapped);
+      if (wrap) wrapped = 1;
+    }
+  }
+  return cls;
+}
+
+}  // namespace
+
+WormholeStats run_wormhole(const SimTopology& topo,
+                           const WormholeConfig& config, unsigned ring_arity) {
+  if (config.vcs < 1 || config.flits_per_packet < 1 ||
+      config.buffer_depth < 1) {
+    throw std::invalid_argument("run_wormhole: degenerate config");
+  }
+  if (config.vcs < vc_classes(config.policy)) {
+    throw std::invalid_argument(
+        "run_wormhole: policy needs at least vc_classes(policy) VCs");
+  }
+  const std::uint32_t n = topo.num_nodes();
+  const std::uint16_t flits =
+      static_cast<std::uint16_t>(config.flits_per_packet);
+  const unsigned classes = vc_classes(config.policy);
+
+  WormholeStats stats;
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  TrafficGenerator traffic(config.pattern, n,
+                           config.seed ^ 0x5bf03635dcd66425ull);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> chan_id;
+  std::vector<ChanState> chans;
+  auto channel = [&](std::uint32_t u, std::uint32_t v) -> std::uint32_t {
+    std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    auto [it, fresh] = chan_id.emplace(
+        key, static_cast<std::uint32_t>(chans.size()));
+    if (fresh) {
+      chans.emplace_back();
+      chans.back().vc.resize(config.vcs);
+    }
+    return it->second;
+  };
+
+  std::vector<PktState> pkts;
+  std::vector<std::deque<std::uint32_t>> inject_q(n);
+  std::uint64_t in_flight = 0;
+  std::uint64_t stall = 0;
+
+  // VC q belongs to class q * classes / vcs (classes partition the range).
+  auto vc_allowed = [&](const PktState& p, std::uint16_t hop, unsigned q) {
+    unsigned cls_of_q = q * classes / config.vcs;
+    return cls_of_q == p.cls[hop];
+  };
+
+  const std::uint64_t horizon =
+      config.warmup_cycles + config.measure_cycles + config.drain_cycles;
+  std::uint64_t cycle = 0;
+  for (; cycle < horizon; ++cycle) {
+    bool injecting = cycle < config.warmup_cycles + config.measure_cycles;
+    bool measuring = cycle >= config.warmup_cycles && injecting;
+    std::uint64_t moves = 0;
+
+    // 1. Packet creation.
+    if (injecting) {
+      for (std::uint32_t src = 0; src < n; ++src) {
+        if (coin(rng) >= config.injection_rate) continue;
+        std::uint32_t dst = traffic.destination(src);
+        PktState p;
+        p.path = topo.route(src, dst);
+        if (p.path.size() < 2) continue;
+        p.injected_at = cycle;
+        p.measured = measuring;
+        p.cls = hop_classes(p.path, ring_arity, config.policy);
+        // Register every channel of the path now so `chans` never grows
+        // during the advance loop (which holds references into it).
+        for (std::size_t h = 0; h + 1 < p.path.size(); ++h) {
+          (void)channel(p.path[h], p.path[h + 1]);
+        }
+        if (p.measured) stats.packets.record_injection();
+        pkts.push_back(std::move(p));
+        inject_q[src].push_back(static_cast<std::uint32_t>(pkts.size() - 1));
+        ++in_flight;
+      }
+    }
+
+    // 2. Source streaming: head packet per node feeds hop-0 channel.
+    for (std::uint32_t src = 0; src < n; ++src) {
+      if (inject_q[src].empty()) continue;
+      std::uint32_t pid = inject_q[src].front();
+      PktState& p = pkts[pid];
+      std::uint32_t c0 = channel(p.path[0], p.path[1]);
+      ChanState& ch = chans[c0];
+      int vc_idx = -1;
+      for (unsigned q = 0; q < config.vcs; ++q) {
+        if (ch.vc[q].owner == pid) {
+          vc_idx = static_cast<int>(q);
+          break;
+        }
+      }
+      if (vc_idx < 0 && p.next_flit == 0) {
+        for (unsigned q = 0; q < config.vcs; ++q) {
+          if (ch.vc[q].owner == -1 && vc_allowed(p, 0, q)) {
+            ch.vc[q].owner = pid;
+            vc_idx = static_cast<int>(q);
+            break;
+          }
+        }
+      }
+      if (vc_idx >= 0 && p.next_flit < flits &&
+          ch.vc[vc_idx].buf.size() < config.buffer_depth) {
+        ch.vc[vc_idx].buf.push_back({pid, p.next_flit, 0, cycle});
+        ++p.next_flit;
+        ++moves;
+        if (p.next_flit == flits) inject_q[src].pop_front();
+      }
+    }
+
+    // 3. Channel advance: one flit per physical channel per cycle.
+    for (std::uint32_t c = 0; c < chans.size(); ++c) {
+      ChanState& ch = chans[c];
+      for (unsigned probe = 0; probe < config.vcs; ++probe) {
+        unsigned q = (ch.rr + probe) % config.vcs;
+        VcState& vc = ch.vc[q];
+        if (vc.buf.empty()) continue;
+        Flit f = vc.buf.front();
+        if (f.last_move == cycle) continue;  // arrived this very cycle
+        PktState& p = pkts[f.pkt];
+        const bool last_hop = (f.hop + 2u == p.path.size());
+        if (last_hop) {
+          vc.buf.pop_front();
+          if (f.index + 1u == flits) {
+            vc.owner = -1;
+            --in_flight;
+            if (p.measured) {
+              stats.packets.record_delivery(cycle + 1 - p.injected_at,
+                                            p.path.size() - 1);
+            }
+          }
+          ++moves;
+          ch.rr = (q + 1) % config.vcs;
+          break;
+        }
+        std::uint32_t c2 = channel(p.path[f.hop + 1], p.path[f.hop + 2]);
+        ChanState& next = chans[c2];
+        int vc2 = -1;
+        for (unsigned r = 0; r < config.vcs; ++r) {
+          if (next.vc[r].owner == f.pkt) {
+            vc2 = static_cast<int>(r);
+            break;
+          }
+        }
+        if (vc2 < 0 && f.index == 0) {
+          for (unsigned r = 0; r < config.vcs; ++r) {
+            if (next.vc[r].owner == -1 &&
+                vc_allowed(p, static_cast<std::uint16_t>(f.hop + 1), r)) {
+              next.vc[r].owner = f.pkt;
+              vc2 = static_cast<int>(r);
+              break;
+            }
+          }
+        }
+        if (vc2 < 0 || next.vc[vc2].buf.size() >= config.buffer_depth) {
+          continue;  // blocked; try another VC of this channel
+        }
+        vc.buf.pop_front();
+        if (f.index + 1u == flits) vc.owner = -1;  // tail frees upstream VC
+        next.vc[vc2].buf.push_back(
+            {f.pkt, f.index, static_cast<std::uint16_t>(f.hop + 1), cycle});
+        ++moves;
+        ch.rr = (q + 1) % config.vcs;
+        break;
+      }
+    }
+
+    // 4. Termination and deadlock detection.
+    if (!injecting && in_flight == 0) break;
+    if (moves == 0 && in_flight > 0) {
+      if (++stall > config.deadlock_patience) {
+        stats.deadlocked = true;
+        break;
+      }
+    } else {
+      stall = 0;
+    }
+  }
+  stats.cycles = cycle;
+  return stats;
+}
+
+}  // namespace hbnet

@@ -1,0 +1,85 @@
+// Flit-level wormhole simulator with virtual channels.
+//
+// The store-and-forward model (sim/simulator.hpp) abstracts switching; this
+// module models what a VLSI router of the paper's era actually did:
+// packets travel as worms of flits, a head flit allocates one virtual
+// channel (VC) per hop and the body follows through bounded flit buffers,
+// so a blocked head stalls a chain of channels -- the mechanism that makes
+// wormhole networks deadlock-prone exactly when the channel dependency
+// graph (analysis/deadlock.hpp) is cyclic.
+//
+// VC allocation policies (classes are computed per hop at injection from
+// the ring structure of the level/position coordinate, `ring_arity`):
+//
+//  * kAnyFree -- grab any free VC; no protection. The level-ring CDG cycles
+//    materialize as real deadlocks under pressure (tests demonstrate it).
+//  * kDateline -- the classical 2-class ring dateline (bump the class after
+//    crossing the wrap edge). Sufficient for *monotone* ring routes -- but
+//    the exact covering-walk routes of the butterfly/CCC/HB reverse
+//    direction up to twice, and two opposite-direction packets can block
+//    each other within one class: measurably INSUFFICIENT here (a finding
+//    the tests pin down deliberately).
+//  * kSegmentDateline -- 6 classes: class = 2 * (monotone-segment index) +
+//    (crossed-wrap-within-segment). An optimal covering walk has at most 3
+//    monotone segments and each spans at most n offsets, so it crosses the
+//    wrap at most once per segment; within a class every packet moves in
+//    one direction without wrap, making each class's dependency subgraph
+//    acyclic and the whole scheme deadlock free. Needs >= 6 VCs.
+//
+// Deadlock is detected operationally: if flits are in flight and nothing
+// moves for `deadlock_patience` cycles, the run aborts and reports it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/topology.hpp"
+#include "sim/traffic.hpp"
+
+namespace hbnet {
+
+enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline };
+
+/// Number of VC classes a policy distinguishes.
+[[nodiscard]] constexpr unsigned vc_classes(VcPolicy policy) {
+  switch (policy) {
+    case VcPolicy::kAnyFree:
+      return 1;
+    case VcPolicy::kDateline:
+      return 2;
+    case VcPolicy::kSegmentDateline:
+      return 6;
+  }
+  return 1;
+}
+
+struct WormholeConfig {
+  unsigned vcs = 2;                 // virtual channels per physical channel
+  unsigned buffer_depth = 4;        // flits per VC buffer
+  unsigned flits_per_packet = 4;    // head + body + tail
+  double injection_rate = 0.02;     // packets/node/cycle
+  std::uint64_t warmup_cycles = 100;
+  std::uint64_t measure_cycles = 400;
+  std::uint64_t drain_cycles = 20000;
+  std::uint64_t deadlock_patience = 2000;  // stall cycles before declaring
+  std::uint64_t seed = 42;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  VcPolicy policy = VcPolicy::kSegmentDateline;
+};
+
+struct WormholeStats {
+  SimStats packets;          // latency = head injection .. tail delivery
+  bool deadlocked = false;   // aborted by the stall detector
+  std::uint64_t cycles = 0;  // cycles actually simulated
+};
+
+/// Runs the wormhole simulation. `ring_arity` is the modulus of the
+/// level/position coordinate in the node indexing (node id % arity), used
+/// to detect ring direction and wrap hops for the dateline policies; pass
+/// 0 for topologies without a ring coordinate (all hops stay class 0).
+[[nodiscard]] WormholeStats run_wormhole(const SimTopology& topo,
+                                         const WormholeConfig& config,
+                                         unsigned ring_arity = 0);
+
+}  // namespace hbnet

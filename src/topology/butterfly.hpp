@@ -1,0 +1,151 @@
+// The wrapped butterfly B_n (Section 2.1 of the paper), in both of the
+// paper's vertex representations:
+//
+//  1. Classic: a vertex is <z, l> with an n-bit word z and a level
+//     l in [0, n); <z,l> ~ <z',l'> iff l' = l+-1 (mod n) and z' equals z
+//     except possibly at one level-determined bit.
+//  2. Cayley (Vadapalli & Srimani): a vertex is a cyclic permutation of n
+//     symbols t_1..t_n in lexicographic order, each possibly complemented,
+//     identified by its permutation index PI (number of left shifts from the
+//     identity) and complementation index CI.
+//
+// We store a vertex canonically as (w, l): l = PI, and bit k of w = the
+// complementation status of *symbol* t_{k+1} (not of position k). In these
+// coordinates the four generators act as
+//     g   : (w, l) -> (w,              l+1 mod n)
+//     f   : (w, l) -> (w ^ 2^l,        l+1 mod n)
+//     g^-1: (w, l) -> (w,              l-1 mod n)
+//     f^-1: (w, l) -> (w ^ 2^(l-1 mod n), l-1 mod n)
+// so cross edges over the level-cycle edge {k, k+1 mod n} flip word bit k --
+// which is exactly the classic representation with z = w. The two paper
+// representations are therefore literally the same object here; the
+// label/PI/CI conversions are provided for completeness and tested as the
+// isomorphism of Remark 2.
+//
+// Shortest routing: a route from (w,l) to (w',l') is a walk on the level
+// cycle Z_n from l to l' traversing cycle edge k at least once for every bit
+// k set in w^w'. We solve that covering-walk problem exactly in O(n^2) by
+// lifting to the integer line (see solve_covering_walk below), which yields
+// both the true distance and an explicit optimal generator sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/cayley.hpp"
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// A wrapped-butterfly vertex: word (symbol complement mask) and level (PI).
+struct BflyNode {
+  std::uint32_t word = 0;
+  std::uint32_t level = 0;
+  friend bool operator==(const BflyNode&, const BflyNode&) = default;
+};
+
+/// The four butterfly generators, in the paper's notation.
+enum class BflyGen : std::uint8_t { kG, kF, kGInv, kFInv };
+
+/// Returns the paper name of a generator ("g", "f", "g-1", "f-1").
+[[nodiscard]] const char* to_string(BflyGen gen);
+
+/// Minimum-length walk on the cycle Z_n from `start` to `end` traversing
+/// every cycle edge k (joining levels k and k+1 mod n) with bit k set in
+/// `required`. Returned as signed unit steps (+1 = clockwise / g-direction).
+/// Exact; used by butterfly and hyper-butterfly routing.
+[[nodiscard]] std::vector<int> solve_covering_walk(unsigned n, unsigned start,
+                                                   unsigned end,
+                                                   std::uint64_t required);
+
+/// Length of the optimal covering walk without materializing it.
+[[nodiscard]] unsigned covering_walk_length(unsigned n, unsigned start,
+                                            unsigned end,
+                                            std::uint64_t required);
+
+class Butterfly {
+ public:
+  /// Constructs B_n; the Cayley representation requires n >= 3 (Remark 1),
+  /// n <= 26 keeps words in 32 bits with room for products.
+  explicit Butterfly(unsigned n);
+
+  [[nodiscard]] unsigned dimension() const { return n_; }
+  [[nodiscard]] NodeId num_nodes() const { return n_ << n_; }
+  [[nodiscard]] std::uint64_t num_edges() const {
+    return static_cast<std::uint64_t>(n_) << (n_ + 1);
+  }
+  [[nodiscard]] static constexpr unsigned degree() { return 4; }
+
+  /// floor(3n/2): the diameter claimed in Remark 1. (Theorem 3 uses
+  /// ceil(3n/2); tests pin the measured value, see EXPERIMENTS.md.)
+  [[nodiscard]] unsigned diameter_formula() const { return 3 * n_ / 2; }
+
+  /// Applies a generator to a vertex.
+  [[nodiscard]] BflyNode apply(BflyNode v, BflyGen gen) const;
+
+  /// All four neighbors, in order g, f, g^-1, f^-1.
+  [[nodiscard]] std::vector<BflyNode> neighbors(BflyNode v) const;
+
+  /// Exact shortest-path distance.
+  [[nodiscard]] unsigned distance(BflyNode u, BflyNode v) const;
+
+  /// One optimal route as a generator sequence.
+  [[nodiscard]] std::vector<BflyGen> route(BflyNode u, BflyNode v) const;
+
+  /// One optimal route as the full vertex sequence [u, ..., v].
+  [[nodiscard]] std::vector<BflyNode> route_nodes(BflyNode u, BflyNode v) const;
+
+  /// Dense index of a vertex: word * n + level.
+  [[nodiscard]] NodeId index_of(BflyNode v) const {
+    return static_cast<NodeId>(v.word) * n_ + v.level;
+  }
+  [[nodiscard]] BflyNode node_at(NodeId id) const {
+    return {static_cast<std::uint32_t>(id / n_),
+            static_cast<std::uint32_t>(id % n_)};
+  }
+
+  // --- Cayley-label view (Remark 2 isomorphism) -------------------------
+
+  /// The symbol label of `v` as the paper writes it: n characters
+  /// 'a','b','c',... (symbol t_1 = 'a'), uppercase = complemented, in
+  /// left-to-right label order a_1 a_2 ... a_n.
+  [[nodiscard]] std::string label(BflyNode v) const;
+
+  /// Parses a label produced by label(); inverse of the above.
+  [[nodiscard]] BflyNode from_label(const std::string& s) const;
+
+  /// Permutation index (Definition 1) -- equals v.level.
+  [[nodiscard]] unsigned permutation_index(BflyNode v) const { return v.level; }
+
+  /// Complementation index (Definition 2): sum of w_j 2^(j-1) where w_j is
+  /// the complementation bit of the j-th *label position*. Equals v.word
+  /// rotated left by PI.
+  [[nodiscard]] std::uint32_t complementation_index(BflyNode v) const;
+
+  // --- Embedded structures ---------------------------------------------
+
+  /// A cycle of length k*n + 2*k' (k >= 1, k' >= 0, k + k' <= 2^n) as a
+  /// vertex sequence; the cycle family of Remark 9 / reference [7].
+  [[nodiscard]] std::vector<BflyNode> cycle(unsigned k, unsigned k_prime) const;
+
+  /// The natural complete binary tree of height n rooted at (root_word, 0):
+  /// level d of the tree lives at butterfly level d; children follow g and f.
+  /// Returns the 2^(n+1)-1 vertices in BFS order... but note levels wrap:
+  /// valid as a subgraph tree only for depth <= n; this returns the T(n)
+  /// witness (depth n-1 internal + leaves at level n-1->0 wrap excluded),
+  /// see embeddings.cpp for the precise statement tested.
+  [[nodiscard]] std::vector<BflyNode> natural_tree(std::uint32_t root_word,
+                                                   unsigned depth) const;
+
+  /// Cayley-graph view (Theorem 1 building block).
+  [[nodiscard]] CayleySpec cayley_spec() const;
+
+  /// Materialized CSR graph (word-major indexing via index_of()).
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace hbnet

@@ -1,0 +1,97 @@
+#include "topology/debruijn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace hbnet {
+
+DeBruijn::DeBruijn(unsigned n) : n_(n), mask_((n == 32) ? ~0u : ((1u << n) - 1)) {
+  if (n < 2 || n > 26) {
+    throw std::invalid_argument("DeBruijn: dimension must be in [2,26], got " +
+                                std::to_string(n));
+  }
+}
+
+std::vector<std::uint32_t> DeBruijn::neighbors(std::uint32_t u) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(4);
+  // Left shifts (successors) and right shifts (predecessors).
+  out.push_back(((u << 1) | 0u) & mask_);
+  out.push_back(((u << 1) | 1u) & mask_);
+  out.push_back(u >> 1);
+  out.push_back((u >> 1) | (1u << (n_ - 1)));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), u), out.end());
+  return out;
+}
+
+std::vector<std::uint32_t> DeBruijn::shift_route(std::uint32_t u,
+                                                 std::uint32_t v) const {
+  std::vector<std::uint32_t> path{u};
+  std::uint32_t cur = u;
+  for (unsigned i = n_; i-- > 0;) {
+    std::uint32_t bit = (v >> i) & 1u;
+    std::uint32_t next = ((cur << 1) | bit) & mask_;
+    if (next != cur) path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+std::vector<std::uint32_t> DeBruijn::route(std::uint32_t u,
+                                           std::uint32_t v) const {
+  if (u == v) return {u};
+  // Maximum overlap of a suffix of u with a prefix of v -> left-shift route;
+  // of a prefix of u with a suffix of v -> right-shift route. Take the
+  // shorter.
+  unsigned best_left = 0;  // overlap length for left shifting
+  for (unsigned o = n_ - 1; o >= 1; --o) {
+    // low o bits of u == high o bits of v?
+    if ((u & ((1u << o) - 1)) == (v >> (n_ - o))) {
+      best_left = o;
+      break;
+    }
+  }
+  unsigned best_right = 0;
+  for (unsigned o = n_ - 1; o >= 1; --o) {
+    // high o bits of u == low o bits of v?
+    if ((u >> (n_ - o)) == (v & ((1u << o) - 1))) {
+      best_right = o;
+      break;
+    }
+  }
+  std::vector<std::uint32_t> path{u};
+  std::uint32_t cur = u;
+  if (best_left >= best_right) {
+    for (unsigned i = n_ - best_left; i-- > 0;) {
+      cur = ((cur << 1) | ((v >> i) & 1u)) & mask_;
+      if (cur != path.back()) path.push_back(cur);
+    }
+  } else {
+    // Right-shift k = n - best_right times; the bit inserted at step i ends
+    // at final position best_right + i, so insert v's bits from position
+    // best_right upward.
+    for (unsigned i = 0; i < n_ - best_right; ++i) {
+      std::uint32_t bit = (v >> (best_right + i)) & 1u;
+      cur = (cur >> 1) | (bit << (n_ - 1));
+      if (cur != path.back()) path.push_back(cur);
+    }
+  }
+  return path;
+}
+
+Graph DeBruijn::to_graph() const {
+  GraphBuilder b(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (std::uint32_t v : neighbors(static_cast<std::uint32_t>(u))) {
+      b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hbnet

@@ -1,0 +1,55 @@
+// The binary de Bruijn graph DB(2,n) -- the substrate of the hyper-deBruijn
+// baseline network of Ganesan & Pradhan (reference [1] of the paper).
+//
+// Directed form: 2^n vertices (n-bit words); u -> (2u + b) mod 2^n for
+// b in {0,1} ("shift in b"). The undirected simple graph drops self loops
+// (at 00..0 and 11..1) and merges parallel edges (the 2-cycle between
+// 0101.. and 1010..), which is what makes the hyper-deBruijn network
+// irregular -- the key drawback the hyper-butterfly removes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+class DeBruijn {
+ public:
+  /// Constructs DB(2,n), n in [2, 26].
+  explicit DeBruijn(unsigned n);
+
+  [[nodiscard]] unsigned dimension() const { return n_; }
+  [[nodiscard]] NodeId num_nodes() const { return NodeId{1} << n_; }
+
+  /// Undirected simple neighbors of u (2..4 of them), deduplicated, sorted.
+  [[nodiscard]] std::vector<std::uint32_t> neighbors(std::uint32_t u) const;
+
+  /// Shift-register route from u to v of length <= n: shift in the bits of v
+  /// MSB-first. Not always shortest (shortest-path routing in de Bruijn
+  /// graphs requires maximum-overlap search, see route()).
+  [[nodiscard]] std::vector<std::uint32_t> shift_route(std::uint32_t u,
+                                                       std::uint32_t v) const;
+
+  /// Shortest route in the *directed-step* sense used by hyper-deBruijn
+  /// routing: finds the maximum overlap between a suffix of u and a prefix
+  /// of v (or vice versa) and shifts the remaining bits in; length
+  /// n - overlap. This is the classical de Bruijn routing; it is optimal
+  /// over unidirectional shift sequences though not always over mixed ones.
+  [[nodiscard]] std::vector<std::uint32_t> route(std::uint32_t u,
+                                                 std::uint32_t v) const;
+
+  /// Diameter of the undirected simple graph is n for n >= 4 (it is <= n by
+  /// shift routing; tests pin exact small-n values by BFS).
+  [[nodiscard]] unsigned diameter_upper_bound() const { return n_; }
+
+  /// Materialized CSR graph.
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  unsigned n_;
+  std::uint32_t mask_;
+};
+
+}  // namespace hbnet

@@ -1,0 +1,115 @@
+#include "topology/guest_graphs.hpp"
+
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+
+namespace hbnet {
+
+Graph make_cycle(std::uint32_t k) {
+  if (k < 3) throw std::invalid_argument("make_cycle: k >= 3 required");
+  GraphBuilder b(k);
+  for (std::uint32_t i = 0; i < k; ++i) b.add_edge(i, (i + 1) % k);
+  return b.build();
+}
+
+Graph make_path(std::uint32_t k) {
+  if (k < 1) throw std::invalid_argument("make_path: k >= 1 required");
+  GraphBuilder b(k);
+  for (std::uint32_t i = 0; i + 1 < k; ++i) b.add_edge(i, i + 1);
+  return b.build();
+}
+
+Graph make_torus(std::uint32_t n1, std::uint32_t n2) {
+  if (n1 < 3 || n2 < 3) {
+    throw std::invalid_argument("make_torus: n1, n2 >= 3 required");
+  }
+  GraphBuilder b(n1 * n2);
+  for (std::uint32_t r = 0; r < n1; ++r) {
+    for (std::uint32_t c = 0; c < n2; ++c) {
+      b.add_edge(r * n2 + c, r * n2 + (c + 1) % n2);
+      b.add_edge(r * n2 + c, ((r + 1) % n1) * n2 + c);
+    }
+  }
+  return b.build();
+}
+
+Graph make_grid(std::uint32_t n1, std::uint32_t n2) {
+  if (n1 < 1 || n2 < 1) {
+    throw std::invalid_argument("make_grid: n1, n2 >= 1 required");
+  }
+  GraphBuilder b(n1 * n2);
+  for (std::uint32_t r = 0; r < n1; ++r) {
+    for (std::uint32_t c = 0; c < n2; ++c) {
+      if (c + 1 < n2) b.add_edge(r * n2 + c, r * n2 + c + 1);
+      if (r + 1 < n1) b.add_edge(r * n2 + c, (r + 1) * n2 + c);
+    }
+  }
+  return b.build();
+}
+
+Graph make_complete_binary_tree(unsigned h) {
+  if (h < 1 || h > 26) {
+    throw std::invalid_argument("make_complete_binary_tree: h in [1,26]");
+  }
+  const NodeId n = (NodeId{1} << h) - 1;
+  GraphBuilder b(n);
+  for (NodeId i = 0; 2 * i + 2 < n; ++i) {
+    b.add_edge(i, 2 * i + 1);
+    b.add_edge(i, 2 * i + 2);
+  }
+  return b.build();
+}
+
+Graph make_mesh_of_trees(unsigned p, unsigned q) {
+  if (p < 1 || q < 1 || p + q > 22) {
+    throw std::invalid_argument("make_mesh_of_trees: p, q >= 1, p+q <= 22");
+  }
+  MeshOfTreesIndex idx{p, q};
+  GraphBuilder b(idx.num_nodes());
+  const std::uint32_t rows = idx.rows();
+  const std::uint32_t cols = idx.cols();
+  // Row trees: heap of cols-1 internals; internal t's children are 2t+1 and
+  // 2t+2 while internal, and leaves when the heap index crosses cols-1.
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    for (std::uint32_t t = 0; t < cols - 1; ++t) {
+      for (std::uint32_t child : {2 * t + 1, 2 * t + 2}) {
+        NodeId cid = (child < cols - 1)
+                         ? idx.row_internal(i, child)
+                         : idx.leaf(i, child - (cols - 1));
+        b.add_edge(idx.row_internal(i, t), cid);
+      }
+    }
+  }
+  for (std::uint32_t j = 0; j < cols; ++j) {
+    for (std::uint32_t t = 0; t < rows - 1; ++t) {
+      for (std::uint32_t child : {2 * t + 1, 2 * t + 2}) {
+        NodeId cid = (child < rows - 1)
+                         ? idx.col_internal(j, child)
+                         : idx.leaf(child - (rows - 1), j);
+        b.add_edge(idx.col_internal(j, t), cid);
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph make_double_rooted_tree(unsigned k) {
+  if (k < 2 || k > 26) {
+    throw std::invalid_argument("make_double_rooted_tree: k in [2,26]");
+  }
+  const NodeId sub = (NodeId{1} << (k - 1)) - 1;  // size of each T(k-1)
+  GraphBuilder b(2 + 2 * sub);
+  b.add_edge(0, 1);
+  // Subtree under root 0 occupies ids [2, 2+sub); under root 1 the rest.
+  for (NodeId base : {NodeId{2}, NodeId{2} + sub}) {
+    b.add_edge(base == 2 ? 0 : 1, base);  // root -> subtree root
+    for (NodeId t = 0; 2 * t + 2 < sub; ++t) {
+      b.add_edge(base + t, base + 2 * t + 1);
+      b.add_edge(base + t, base + 2 * t + 2);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hbnet

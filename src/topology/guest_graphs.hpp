@@ -1,0 +1,68 @@
+// Guest graphs for the paper's embedding claims (Section 4): cycles C(k),
+// wrap-around meshes / tori M(n1,n2), complete binary trees T(h), and meshes
+// of trees MT(2^p, 2^q). Each comes with a canonical vertex indexing so
+// embedding maps can be expressed as plain vectors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// C(k): cycle on k >= 3 vertices 0..k-1, i ~ i+1 mod k.
+[[nodiscard]] Graph make_cycle(std::uint32_t k);
+
+/// P(k): path on k >= 1 vertices 0..k-1.
+[[nodiscard]] Graph make_path(std::uint32_t k);
+
+/// M(n1, n2): wrap-around mesh (torus) C(n1) x C(n2); vertex (r, c) has
+/// index r*n2 + c. Requires n1, n2 >= 3 for simple-graph wrap edges.
+[[nodiscard]] Graph make_torus(std::uint32_t n1, std::uint32_t n2);
+
+/// Grid (no wrap) n1 x n2, same indexing.
+[[nodiscard]] Graph make_grid(std::uint32_t n1, std::uint32_t n2);
+
+/// T(h): complete binary tree with 2^h - 1 vertices (the paper's
+/// convention), heap-indexed: root 0, children of i are 2i+1, 2i+2.
+[[nodiscard]] Graph make_complete_binary_tree(unsigned h);
+
+/// Vertex indexing of the mesh of trees MT(2^p, 2^q):
+///  * leaves (i,j), 0<=i<2^p, 0<=j<2^q: index i*2^q + j
+///  * row-tree internals: row i's binary tree over its 2^q leaves has
+///    2^q - 1 internal nodes, heap-indexed; internal t of row i comes next
+///  * column-tree internals afterwards, symmetrically.
+/// Edges: each row tree is a complete binary tree whose leaves are the row's
+/// grid vertices; likewise for columns. (The grid vertices themselves are
+/// NOT directly adjacent -- the standard mesh-of-trees definition.)
+struct MeshOfTreesIndex {
+  unsigned p = 0, q = 0;
+  [[nodiscard]] std::uint32_t rows() const { return 1u << p; }
+  [[nodiscard]] std::uint32_t cols() const { return 1u << q; }
+  [[nodiscard]] NodeId num_nodes() const {
+    return rows() * cols() + rows() * (cols() - 1) + cols() * (rows() - 1);
+  }
+  [[nodiscard]] NodeId leaf(std::uint32_t i, std::uint32_t j) const {
+    return i * cols() + j;
+  }
+  /// Internal node t (heap index 0..cols()-2) of row i's tree.
+  [[nodiscard]] NodeId row_internal(std::uint32_t i, std::uint32_t t) const {
+    return rows() * cols() + i * (cols() - 1) + t;
+  }
+  /// Internal node t (heap index 0..rows()-2) of column j's tree.
+  [[nodiscard]] NodeId col_internal(std::uint32_t j, std::uint32_t t) const {
+    return rows() * cols() + rows() * (cols() - 1) + j * (rows() - 1) + t;
+  }
+};
+
+/// MT(2^p, 2^q) with the indexing above.
+[[nodiscard]] Graph make_mesh_of_trees(unsigned p, unsigned q);
+
+/// The double-rooted complete binary tree DRT(k): two adjacent roots, each
+/// the parent of a complete binary tree T(k-1); 2^k vertices in total.
+/// Indexing: 0 and 1 are the two roots (adjacent); then the heap-indexed
+/// T(k-1) subtree under root 0; then the one under root 1.
+[[nodiscard]] Graph make_double_rooted_tree(unsigned k);
+
+}  // namespace hbnet

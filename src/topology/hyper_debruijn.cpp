@@ -1,0 +1,59 @@
+#include "topology/hyper_debruijn.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+#include "graph/builder.hpp"
+
+namespace hbnet {
+
+HyperDeBruijn::HyperDeBruijn(unsigned m, unsigned n) : m_(m), n_(n), db_(n) {
+  if (m < 1 || m + n > 26) {
+    throw std::invalid_argument("HyperDeBruijn: need m >= 1 and m+n <= 26");
+  }
+}
+
+std::vector<HdNode> HyperDeBruijn::neighbors(HdNode v) const {
+  std::vector<HdNode> out;
+  out.reserve(m_ + 4);
+  for (unsigned i = 0; i < m_; ++i) {
+    out.push_back({v.cube ^ (1u << i), v.db});
+  }
+  for (std::uint32_t w : db_.neighbors(v.db)) {
+    out.push_back({v.cube, w});
+  }
+  return out;
+}
+
+std::vector<HdNode> HyperDeBruijn::route(HdNode u, HdNode v) const {
+  std::vector<HdNode> path{u};
+  // Cube phase: greedy bit correction.
+  std::uint32_t cur = u.cube;
+  std::uint32_t diff = u.cube ^ v.cube;
+  while (diff != 0) {
+    unsigned bit = static_cast<unsigned>(std::countr_zero(diff));
+    cur ^= 1u << bit;
+    diff &= diff - 1;
+    path.push_back({cur, u.db});
+  }
+  // de Bruijn phase: overlap shifting.
+  std::vector<std::uint32_t> tail = db_.route(u.db, v.db);
+  for (std::size_t i = 1; i < tail.size(); ++i) {
+    path.push_back({v.cube, tail[i]});
+  }
+  return path;
+}
+
+Graph HyperDeBruijn::to_graph() const {
+  GraphBuilder b(num_nodes());
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    HdNode v = node_at(id);
+    for (const HdNode& w : neighbors(v)) {
+      b.add_edge(id, index_of(w));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace hbnet

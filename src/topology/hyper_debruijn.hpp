@@ -1,0 +1,69 @@
+// The hyper-deBruijn network HD(m,n) of Ganesan & Pradhan -- the baseline
+// the paper compares against (Figures 1 and 2).
+//
+// HD(m,n) is the product of the hypercube H_m and the binary de Bruijn
+// graph DB(2,n): 2^(m+n) nodes. Because DB(2,n) is not regular as a simple
+// undirected graph (self loops at the two constant words, a merged parallel
+// edge between the two alternating words), HD(m,n) is not regular either:
+// degrees range from m+2 to m+4, and its vertex connectivity -- hence fault
+// tolerance -- is m+2, strictly below the typical degree m+4. These are the
+// two shortcomings (irregularity, sub-optimal fault tolerance) that the
+// hyper-butterfly network is designed to remove.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+
+/// A hyper-deBruijn vertex: hypercube part and de Bruijn part.
+struct HdNode {
+  std::uint32_t cube = 0;
+  std::uint32_t db = 0;
+  friend bool operator==(const HdNode&, const HdNode&) = default;
+};
+
+class HyperDeBruijn {
+ public:
+  /// Constructs HD(m,n); m >= 1, n >= 2, m+n <= 26.
+  HyperDeBruijn(unsigned m, unsigned n);
+
+  [[nodiscard]] unsigned cube_dimension() const { return m_; }
+  [[nodiscard]] unsigned db_dimension() const { return n_; }
+  [[nodiscard]] NodeId num_nodes() const { return NodeId{1} << (m_ + n_); }
+
+  /// Degree bounds of the simple undirected graph: [m+2, m+4].
+  [[nodiscard]] unsigned min_degree() const { return m_ + 2; }
+  [[nodiscard]] unsigned max_degree() const { return m_ + 4; }
+
+  /// Diameter upper bound m + n (cube correction + full shift).
+  [[nodiscard]] unsigned diameter_upper_bound() const { return m_ + n_; }
+
+  /// Neighbors of a vertex (m cube neighbors + 2..4 de Bruijn neighbors).
+  [[nodiscard]] std::vector<HdNode> neighbors(HdNode v) const;
+
+  /// Dimension-ordered route: fix the cube part (greedy bit correction),
+  /// then the de Bruijn part (maximum-overlap shifting).
+  [[nodiscard]] std::vector<HdNode> route(HdNode u, HdNode v) const;
+
+  [[nodiscard]] NodeId index_of(HdNode v) const {
+    return (static_cast<NodeId>(v.cube) << n_) | v.db;
+  }
+  [[nodiscard]] HdNode node_at(NodeId id) const {
+    return {static_cast<std::uint32_t>(id >> n_),
+            static_cast<std::uint32_t>(id & ((NodeId{1} << n_) - 1))};
+  }
+
+  /// Materialized CSR graph.
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  unsigned m_, n_;
+  DeBruijn db_;
+};
+
+}  // namespace hbnet

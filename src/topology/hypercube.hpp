@@ -1,0 +1,73 @@
+// The binary hypercube H_m (Section 2.1 of the paper).
+//
+// Vertices are the 2^m m-bit words; (u,v) is an edge iff the Hamming
+// distance of u and v is 1. Known properties reproduced and tested here:
+//   * m * 2^(m-1) edges, regular of degree m, diameter m,
+//   * vertex connectivity m (maximally fault tolerant),
+//   * shortest routing by bit correction (distance = popcount of u^v),
+//   * m node-disjoint u-v paths of length <= dist(u,v)+2 [Saad & Schultz],
+//   * even cycles of every length 4..2^m (Remark 9), via Gray codes.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "graph/cayley.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/graph.hpp"
+
+namespace hbnet {
+
+/// A hypercube vertex is just its m-bit label.
+using CubeWord = std::uint32_t;
+
+class Hypercube {
+ public:
+  /// Constructs H_m; m in [1, 26] (2^26 nodes is the practical cap here).
+  explicit Hypercube(unsigned m);
+
+  [[nodiscard]] unsigned dimension() const { return m_; }
+  [[nodiscard]] NodeId num_nodes() const { return NodeId{1} << m_; }
+  [[nodiscard]] std::uint64_t num_edges() const {
+    return static_cast<std::uint64_t>(m_) << (m_ - 1);
+  }
+  [[nodiscard]] unsigned degree() const { return m_; }
+  [[nodiscard]] unsigned diameter() const { return m_; }
+
+  /// All m neighbors of `u` (bit flips), ascending by flipped bit index.
+  [[nodiscard]] std::vector<CubeWord> neighbors(CubeWord u) const;
+
+  /// Shortest-path distance (Hamming distance).
+  [[nodiscard]] static unsigned distance(CubeWord u, CubeWord v) {
+    return static_cast<unsigned>(std::popcount(u ^ v));
+  }
+
+  /// One shortest u-v path (corrects differing bits from LSB to MSB).
+  [[nodiscard]] std::vector<CubeWord> route(CubeWord u, CubeWord v) const;
+
+  /// The m node-disjoint u-v paths (u != v). Paths between the endpoints are
+  /// internally vertex disjoint; lengths are at most distance(u,v) + 2.
+  [[nodiscard]] std::vector<std::vector<CubeWord>> disjoint_paths(
+      CubeWord u, CubeWord v) const;
+
+  /// A cycle of even length k, 4 <= k <= 2^m, as a vertex sequence (first
+  /// vertex not repeated at the end). Throws for invalid k.
+  [[nodiscard]] std::vector<CubeWord> even_cycle(std::uint64_t k) const;
+
+  /// Reflected Gray code: the i-th word of a Hamiltonian path of H_m.
+  [[nodiscard]] static CubeWord gray(std::uint64_t i) {
+    return static_cast<CubeWord>(i ^ (i >> 1));
+  }
+
+  /// Cayley-graph view: the m bit-flip generators h_i.
+  [[nodiscard]] CayleySpec cayley_spec() const;
+
+  /// Materialized CSR graph.
+  [[nodiscard]] Graph to_graph() const;
+
+ private:
+  unsigned m_;
+};
+
+}  // namespace hbnet

@@ -1,0 +1,89 @@
+// Analysis layer: measured summaries and the Figure-1 / Figure-2 table
+// generators.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/properties.hpp"
+#include "analysis/tables.hpp"
+#include "core/hyper_butterfly.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(Properties, SummarizeHypercube) {
+  SummaryOptions opts;
+  opts.vertex_transitive = true;
+  TopologySummary s = summarize("H(4)", Hypercube(4).to_graph(), opts);
+  EXPECT_EQ(s.nodes, 16u);
+  EXPECT_EQ(s.edges, 32u);
+  EXPECT_TRUE(s.regular);
+  EXPECT_EQ(s.min_degree, 4u);
+  ASSERT_TRUE(s.diameter.has_value());
+  EXPECT_EQ(*s.diameter, 4u);
+  ASSERT_TRUE(s.connectivity.has_value());
+  EXPECT_EQ(*s.connectivity, 4u);
+  EXPECT_TRUE(s.connectivity_exact);
+}
+
+TEST(Properties, SummarizeHbMatchesTheorems) {
+  SummaryOptions opts;
+  opts.vertex_transitive = true;
+  HyperButterfly hb(2, 3);
+  TopologySummary s = summarize("HB(2,3)", hb.to_graph(), opts);
+  EXPECT_EQ(s.nodes, hb.num_nodes());
+  EXPECT_EQ(s.edges, hb.num_edges());
+  EXPECT_TRUE(s.regular);
+  EXPECT_EQ(s.min_degree, hb.degree());
+  ASSERT_TRUE(s.connectivity.has_value());
+  EXPECT_EQ(*s.connectivity, hb.degree());  // Corollary 1
+}
+
+TEST(Properties, SampledConnectivityOnLargerGraph) {
+  SummaryOptions opts;
+  opts.vertex_transitive = true;
+  opts.connectivity_node_cap = 10;  // force the sampled path
+  opts.connectivity_samples = 8;
+  TopologySummary s = summarize("H(6)", Hypercube(6).to_graph(), opts);
+  ASSERT_TRUE(s.connectivity.has_value());
+  EXPECT_FALSE(s.connectivity_exact);
+  EXPECT_EQ(*s.connectivity, 6u);  // samples agree with the true value
+}
+
+TEST(Tables, Figure1SmallInstance) {
+  ComparisonTable t = figure1_table(2, 3, /*measure=*/true);
+  ASSERT_EQ(t.columns.size(), 4u);
+  ASSERT_GE(t.rows.size(), 6u);
+  // Column order: H(5), B(5), HD(2,3), HB(2,3); row 0 = Nodes.
+  EXPECT_EQ(t.cells[0][0].measured, "32");        // 2^5
+  EXPECT_EQ(t.cells[0][1].measured, "160");       // 5*2^5
+  EXPECT_EQ(t.cells[0][2].measured, "32");        // 2^5
+  EXPECT_EQ(t.cells[0][3].measured, "96");        // 3*2^5
+  // Regularity row.
+  EXPECT_EQ(t.cells[2][2].measured, "no");
+  EXPECT_EQ(t.cells[2][3].measured, "yes");
+  // Formula column matches the paper.
+  EXPECT_EQ(t.cells[0][3].formula, "96");
+  EXPECT_EQ(t.cells[5][3].formula, "6");  // fault tolerance m+4
+}
+
+TEST(Tables, Figure1FormulasOnly) {
+  ComparisonTable t = figure1_table(3, 8, /*measure=*/false);
+  EXPECT_EQ(t.cells[0][3].formula, "16384");  // HB(3,8) nodes
+  EXPECT_EQ(t.cells[4][3].formula, "15");     // diameter 3 + 12
+  EXPECT_EQ(t.cells[0][3].measured, "0");     // unmeasured sentinel
+}
+
+TEST(Tables, PrintProducesAlignedOutput) {
+  ComparisonTable t = figure1_table(2, 3, /*measure=*/false);
+  std::ostringstream os;
+  print_table(os, t);
+  std::string text = os.str();
+  EXPECT_NE(text.find("Parameter"), std::string::npos);
+  EXPECT_NE(text.find("HB(2,3)"), std::string::npos);
+  EXPECT_NE(text.find("Fault-tolerance"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hbnet

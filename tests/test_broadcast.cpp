@@ -1,0 +1,66 @@
+// Broadcast (the paper's future-work extension): completion, lower bound,
+// and the structured (binomial + per-layer) schedule.
+#include <gtest/gtest.h>
+
+#include "core/broadcast.hpp"
+#include "graph/builder.hpp"
+#include "topology/guest_graphs.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(Broadcast, LowerBoundIsCeilLog2) {
+  HyperButterfly hb(2, 3);  // 96 nodes
+  EXPECT_EQ(broadcast_lower_bound(hb), 7u);  // 2^7 = 128 >= 96
+}
+
+TEST(Broadcast, GreedyCompletesAndRespectsLowerBound) {
+  for (auto [m, n] : {std::pair{1u, 3u}, std::pair{2u, 3u}, std::pair{2u, 4u}}) {
+    HyperButterfly hb(m, n);
+    BroadcastResult r = hb_greedy_broadcast(hb, HbNode{0, {0, 0}});
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.informed, hb.num_nodes());
+    EXPECT_GE(r.rounds, broadcast_lower_bound(hb));
+    // Sanity: greedy should land within a small constant factor.
+    EXPECT_LE(r.rounds, 3u * broadcast_lower_bound(hb) + 8);
+  }
+}
+
+TEST(Broadcast, StructuredCompletesNearOptimal) {
+  for (auto [m, n] : {std::pair{2u, 3u}, std::pair{3u, 4u}, std::pair{4u, 4u}}) {
+    HyperButterfly hb(m, n);
+    BroadcastResult r = hb_structured_broadcast(hb, HbNode{0, {0, 0}});
+    EXPECT_TRUE(r.complete);
+    // m rounds for the cube phase + O(n + log n) for the butterfly layers:
+    // asymptotically optimal vs lower bound m + n + log2(n).
+    EXPECT_GE(r.rounds, broadcast_lower_bound(hb));
+    EXPECT_LE(r.rounds, m + 4 * n + 8);
+  }
+}
+
+TEST(Broadcast, GreedyRoundsOnPathGraph) {
+  // A path broadcast from one end takes exactly n-1 rounds (pipelining
+  // cannot help a 1-wide frontier).
+  Graph p = make_path(9);
+  EXPECT_EQ(greedy_broadcast_rounds(p, 0), 8u);
+}
+
+TEST(Broadcast, GreedyRoundsOnStar) {
+  // A star from the hub: one leaf per round.
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.add_edge(0, v);
+  EXPECT_EQ(greedy_broadcast_rounds(b.build(), 0), 5u);
+}
+
+TEST(Broadcast, SourceInvariance) {
+  // Vertex transitivity: rounds should not depend on the source (greedy is
+  // heuristic, allow a 2-round wobble).
+  HyperButterfly hb(2, 3);
+  BroadcastResult a = hb_greedy_broadcast(hb, HbNode{0, {0, 0}});
+  BroadcastResult b = hb_greedy_broadcast(hb, HbNode{3, {7, 2}});
+  EXPECT_LE(a.rounds > b.rounds ? a.rounds - b.rounds : b.rounds - a.rounds,
+            2u);
+}
+
+}  // namespace
+}  // namespace hbnet

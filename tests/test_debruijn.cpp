@@ -1,0 +1,113 @@
+// de Bruijn DB(2,n) and hyper-deBruijn HD(m,n) baselines: the irregularity
+// and sub-optimal fault tolerance the hyper-butterfly is designed to remove.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hyper_debruijn.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(DeBruijn, NeighborSymmetryAndDegrees) {
+  DeBruijn db(4);
+  Graph g = db.to_graph();
+  EXPECT_EQ(g.num_nodes(), 16u);
+  auto [lo, hi] = g.degree_range();
+  EXPECT_EQ(lo, 2u);  // all-zeros / all-ones lose the self loop + share shift
+  EXPECT_EQ(hi, 4u);
+  EXPECT_FALSE(g.is_regular());
+  // Neighbor lists agree with the materialized graph both ways.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (std::uint32_t v : db.neighbors(static_cast<std::uint32_t>(u))) {
+      EXPECT_TRUE(g.has_edge(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(DeBruijn, ShiftRouteReachesDestination) {
+  DeBruijn db(6);
+  for (std::uint32_t u : {0u, 17u, 63u}) {
+    for (std::uint32_t v : {1u, 42u, 63u}) {
+      auto walk = db.shift_route(u, v);
+      EXPECT_EQ(walk.front(), u);
+      EXPECT_EQ(walk.back(), v);
+      EXPECT_LE(walk.size(), 7u);  // at most n shifts
+    }
+  }
+}
+
+TEST(DeBruijn, OverlapRouteValidWalk) {
+  DeBruijn db(5);
+  Graph g = db.to_graph();
+  for (std::uint32_t u = 0; u < 32; u += 3) {
+    for (std::uint32_t v = 0; v < 32; v += 5) {
+      auto walk = db.route(u, v);
+      EXPECT_EQ(walk.front(), u);
+      EXPECT_EQ(walk.back(), v);
+      for (std::size_t i = 1; i < walk.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(walk[i - 1], walk[i]))
+            << "u=" << u << " v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(DeBruijn, OverlapRouteExploitsOverlap) {
+  DeBruijn db(6);
+  // 001011 -> 010110 is a single left shift.
+  EXPECT_EQ(db.route(0b001011, 0b010110).size(), 2u);
+  // And a single right shift back.
+  EXPECT_EQ(db.route(0b010110, 0b001011).size(), 2u);
+}
+
+TEST(DeBruijn, DiameterUpperBound) {
+  for (unsigned n : {3u, 4u, 5u, 6u}) {
+    Graph g = DeBruijn(n).to_graph();
+    EXPECT_LE(diameter(g), n) << "n=" << n;
+  }
+}
+
+TEST(HyperDeBruijn, StructureMatchesPaper) {
+  HyperDeBruijn hd(3, 4);
+  Graph g = hd.to_graph();
+  EXPECT_EQ(g.num_nodes(), 128u);
+  auto [lo, hi] = g.degree_range();
+  EXPECT_EQ(lo, hd.min_degree());  // m+2
+  EXPECT_EQ(hi, hd.max_degree());  // m+4
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(HyperDeBruijn, ConnectivityIsMPlusTwo) {
+  // The key comparison number of Figure 1: kappa(HD) = m+2 < m+4.
+  for (unsigned m : {1u, 2u}) {
+    Graph g = HyperDeBruijn(m, 3).to_graph();
+    EXPECT_EQ(vertex_connectivity(g), m + 2) << "m=" << m;
+  }
+}
+
+TEST(HyperDeBruijn, RouteValidAndBounded) {
+  HyperDeBruijn hd(3, 5);
+  Graph g = hd.to_graph();
+  for (NodeId s = 0; s < g.num_nodes(); s += 37) {
+    for (NodeId t = 0; t < g.num_nodes(); t += 41) {
+      auto walk = hd.route(hd.node_at(s), hd.node_at(t));
+      EXPECT_TRUE(walk.front() == hd.node_at(s));
+      EXPECT_TRUE(walk.back() == hd.node_at(t));
+      EXPECT_LE(walk.size(), 1u + hd.diameter_upper_bound());
+      for (std::size_t i = 1; i < walk.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(hd.index_of(walk[i - 1]),
+                               hd.index_of(walk[i])));
+      }
+    }
+  }
+}
+
+TEST(HyperDeBruijn, DiameterAtMostMPlusN) {
+  Graph g = HyperDeBruijn(2, 4).to_graph();
+  EXPECT_LE(diameter(g), 6u);
+}
+
+}  // namespace
+}  // namespace hbnet

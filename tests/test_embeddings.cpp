@@ -1,0 +1,245 @@
+// Section 4: embeddings. Every constructive embedding is validated with the
+// generic checker against materialized graphs, and the audited claims
+// (Lemma 3) are probed with exact subgraph search on small instances.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/embeddings.hpp"
+#include "graph/builder.hpp"
+#include "graph/embedding_check.hpp"
+#include "graph/subgraph_search.hpp"
+#include "topology/guest_graphs.hpp"
+
+namespace hbnet {
+namespace {
+
+// ---- grid snake ----------------------------------------------------------
+
+void expect_valid_grid_cycle(std::uint32_t rows, std::uint32_t cols,
+                             std::uint64_t k) {
+  auto cells = grid_snake_cycle(rows, cols, k);
+  ASSERT_EQ(cells.size(), k) << rows << "x" << cols << " k=" << k;
+  // Distinct cells, consecutive (incl. wrap) differ by one grid step.
+  std::vector<std::uint64_t> ids;
+  for (auto [r, c] : cells) {
+    ASSERT_LT(r, rows);
+    ASSERT_LT(c, cols);
+    ids.push_back(static_cast<std::uint64_t>(r) * cols + c);
+  }
+  std::sort(ids.begin(), ids.end());
+  ASSERT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+      << rows << "x" << cols << " k=" << k;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto [r1, c1] = cells[i];
+    auto [r2, c2] = cells[(i + 1) % cells.size()];
+    unsigned manhattan = (r1 > r2 ? r1 - r2 : r2 - r1) +
+                         (c1 > c2 ? c1 - c2 : c2 - c1);
+    ASSERT_EQ(manhattan, 1u) << rows << "x" << cols << " k=" << k << " i=" << i;
+  }
+}
+
+TEST(GridSnake, AllLengthsSeveralShapes) {
+  for (auto [rows, cols] : {std::pair{4u, 5u}, std::pair{6u, 3u},
+                            std::pair{2u, 9u}, std::pair{8u, 2u},
+                            std::pair{4u, 4u}, std::pair{10u, 7u}}) {
+    for (std::uint64_t k = 4; k <= std::uint64_t{rows} * cols; k += 2) {
+      expect_valid_grid_cycle(rows, cols, k);
+    }
+  }
+}
+
+TEST(GridSnake, RejectsInvalid) {
+  EXPECT_THROW(grid_snake_cycle(3, 4, 6), std::invalid_argument);  // odd rows
+  EXPECT_THROW(grid_snake_cycle(4, 4, 7), std::invalid_argument);  // odd k
+  EXPECT_THROW(grid_snake_cycle(4, 4, 18), std::invalid_argument); // too long
+  EXPECT_THROW(grid_snake_cycle(4, 4, 2), std::invalid_argument);  // too short
+}
+
+// ---- cycles and tori in HB ------------------------------------------------
+
+class CycleParam
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(CycleParam, EvenCyclesAllLengthsLemma2) {
+  auto [m, n] = GetParam();
+  HyperButterfly hb(m, n);
+  Graph g = hb.to_graph();
+  for (std::uint64_t k = 4; k <= hb.num_nodes(); k += 2) {
+    auto cycle = hb_even_cycle(hb, k);
+    ASSERT_EQ(cycle.size(), k);
+    std::vector<HbIndex> ids;
+    for (const HbNode& v : cycle) ids.push_back(hb.index_of(v));
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      ASSERT_TRUE(g.has_edge(static_cast<NodeId>(ids[i]),
+                             static_cast<NodeId>(ids[(i + 1) % ids.size()])))
+          << "k=" << k << " i=" << i;
+    }
+    std::sort(ids.begin(), ids.end());
+    ASSERT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CycleParam,
+                         ::testing::Values(std::pair{1u, 3u}, std::pair{2u, 3u},
+                                           std::pair{3u, 3u},
+                                           std::pair{2u, 4u}, std::pair{1u, 4u},
+                                           std::pair{3u, 4u}));
+
+TEST(Embeddings, EvenCycleRejectsInvalid) {
+  HyperButterfly hb(2, 3);
+  EXPECT_THROW(hb_even_cycle(hb, 5), std::invalid_argument);
+  EXPECT_THROW(hb_even_cycle(hb, 2), std::invalid_argument);
+  EXPECT_THROW(hb_even_cycle(hb, hb.num_nodes() + 2), std::invalid_argument);
+}
+
+TEST(Embeddings, TorusIsSubgraph) {
+  HyperButterfly hb(2, 3);
+  Graph g = hb.to_graph();
+  auto grid = hb_torus(hb, 4, 2, 0);  // M(4, 6): 4-row, 6-col torus
+  ASSERT_EQ(grid.size(), 4u);
+  ASSERT_EQ(grid[0].size(), 6u);
+  Graph guest = make_torus(4, 6);
+  std::vector<NodeId> map(guest.num_nodes());
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 6; ++c) {
+      map[r * 6 + c] = static_cast<NodeId>(hb.index_of(grid[r][c]));
+    }
+  }
+  EmbeddingCheck check = check_embedding(guest, g, map);
+  EXPECT_TRUE(check.dilation_one) << check.error;
+}
+
+TEST(Embeddings, TorusWithBounceColumns) {
+  // Column cycle from the kn + 2k' family (k'=2 bounces): M(4, 2*3+4).
+  HyperButterfly hb(2, 3);
+  Graph g = hb.to_graph();
+  auto grid = hb_torus(hb, 4, 2, 2);
+  ASSERT_EQ(grid[0].size(), 10u);
+  Graph guest = make_torus(4, 10);
+  std::vector<NodeId> map(guest.num_nodes());
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 10; ++c) {
+      map[r * 10 + c] = static_cast<NodeId>(hb.index_of(grid[r][c]));
+    }
+  }
+  EmbeddingCheck check = check_embedding(guest, g, map);
+  EXPECT_TRUE(check.dilation_one) << check.error;
+}
+
+TEST(Embeddings, TorusRejectsBadRows) {
+  HyperButterfly hb(2, 3);
+  EXPECT_THROW(hb_torus(hb, 3, 2, 0), std::invalid_argument);  // odd rows
+  EXPECT_THROW(hb_torus(hb, 8, 2, 0), std::invalid_argument);  // > 2^m
+}
+
+// ---- trees ----------------------------------------------------------------
+
+TEST(Embeddings, DrtSpansHypercube) {
+  for (unsigned k = 2; k <= 9; ++k) {
+    auto layout = drt_in_hypercube(k);
+    ASSERT_EQ(layout.size(), std::size_t{1} << k) << "k=" << k;
+    Graph guest = make_double_rooted_tree(k);
+    Graph host = Hypercube(k).to_graph();
+    std::vector<NodeId> map(layout.begin(), layout.end());
+    EmbeddingCheck check = check_embedding(guest, host, map);
+    EXPECT_TRUE(check.dilation_one) << "k=" << k << ": " << check.error;
+  }
+}
+
+TEST(Embeddings, TreeInHypercube) {
+  for (unsigned h = 1; h <= 9; ++h) {
+    auto layout = tree_in_hypercube(h);
+    ASSERT_EQ(layout.size(), (std::size_t{1} << h) - 1);
+    Graph guest = make_complete_binary_tree(h);
+    Graph host = Hypercube(h + 1).to_graph();
+    std::vector<NodeId> map(layout.begin(), layout.end());
+    EmbeddingCheck check = check_embedding(guest, host, map);
+    EXPECT_TRUE(check.dilation_one) << "h=" << h << ": " << check.error;
+  }
+}
+
+TEST(Embeddings, TreeInButterfly) {
+  for (unsigned n = 3; n <= 7; ++n) {
+    Butterfly bf(n);
+    Graph host = bf.to_graph();
+    for (unsigned h = 1; h <= n; ++h) {
+      auto layout = tree_in_butterfly(bf, h);
+      Graph guest = make_complete_binary_tree(h);
+      std::vector<NodeId> map;
+      for (BflyNode v : layout) map.push_back(bf.index_of(v));
+      EmbeddingCheck check = check_embedding(guest, host, map);
+      EXPECT_TRUE(check.dilation_one)
+          << "n=" << n << " h=" << h << ": " << check.error;
+    }
+  }
+}
+
+TEST(Embeddings, TreeInHb) {
+  for (auto [m, n] : {std::pair{1u, 3u}, std::pair{2u, 3u}, std::pair{3u, 3u},
+                      std::pair{2u, 4u}, std::pair{4u, 4u}}) {
+    HyperButterfly hb(m, n);
+    Graph host = hb.to_graph();
+    auto layout = tree_in_hb(hb);
+    unsigned h = (m < 2) ? n : (m + n - 2);
+    Graph guest = make_complete_binary_tree(h);
+    ASSERT_EQ(layout.size(), guest.num_nodes()) << "m=" << m << " n=" << n;
+    std::vector<NodeId> map;
+    for (const HbNode& v : layout) {
+      map.push_back(static_cast<NodeId>(hb.index_of(v)));
+    }
+    EmbeddingCheck check = check_embedding(guest, host, map);
+    EXPECT_TRUE(check.dilation_one)
+        << "m=" << m << " n=" << n << ": " << check.error;
+  }
+}
+
+TEST(Embeddings, MeshOfTreesTheorem4) {
+  for (auto [m, n, p, q] :
+       {std::tuple{3u, 3u, 1u, 1u}, std::tuple{3u, 3u, 1u, 2u},
+        std::tuple{4u, 4u, 2u, 3u}, std::tuple{4u, 3u, 1u, 2u},
+        std::tuple{5u, 3u, 3u, 2u}}) {
+    HyperButterfly hb(m, n);
+    Graph host = hb.to_graph();
+    auto layout = mesh_of_trees_in_hb(hb, p, q);
+    Graph guest = make_mesh_of_trees(p, q);
+    ASSERT_EQ(layout.size(), guest.num_nodes());
+    std::vector<NodeId> map;
+    for (const HbNode& v : layout) {
+      map.push_back(static_cast<NodeId>(hb.index_of(v)));
+    }
+    EmbeddingCheck check = check_embedding(guest, host, map);
+    EXPECT_TRUE(check.dilation_one)
+        << "m=" << m << " n=" << n << " p=" << p << " q=" << q << ": "
+        << check.error;
+  }
+}
+
+TEST(Embeddings, MeshOfTreesRejectsOutOfRange) {
+  HyperButterfly hb(3, 3);
+  EXPECT_THROW(mesh_of_trees_in_hb(hb, 2, 1), std::invalid_argument);  // p>m-2
+  EXPECT_THROW(mesh_of_trees_in_hb(hb, 1, 3), std::invalid_argument);  // q>n-1
+}
+
+// ---- Lemma 3 audit ---------------------------------------------------------
+
+TEST(Lemma3Audit, T4InB3ByExactSearch) {
+  // Lemma 3 claims T(n+1) subset of B_n. For n=3: T(4) has 15 vertices,
+  // B_3 has 24. The exact search settles the instance; the result is
+  // recorded in EXPERIMENTS.md.
+  Butterfly bf(3);
+  Graph host = bf.to_graph();
+  Graph guest = make_complete_binary_tree(4);
+  SubgraphSearchOptions opts;
+  opts.max_steps = 100'000'000;
+  auto r = find_subgraph(guest, host, opts);
+  ASSERT_TRUE(r.exhaustive) << "search budget exhausted";
+  if (r.embedding) {
+    EXPECT_TRUE(check_embedding(guest, host, *r.embedding).dilation_one);
+  }
+  RecordProperty("t4_in_b3", r.embedding ? "yes" : "no");
+}
+
+}  // namespace
+}  // namespace hbnet

@@ -1,0 +1,199 @@
+// Unit tests for the generic graph substrate: builder, CSR invariants, BFS,
+// embedding checks and subgraph search.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/builder.hpp"
+#include "graph/embedding_check.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph_search.hpp"
+#include "topology/guest_graphs.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(GraphBuilder, DedupsAndDropsSelfLoops) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate, reversed
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(2, 2);  // self loop
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_TRUE(g.has_edge(3, 2));
+}
+
+TEST(GraphBuilder, RejectsOutOfRange) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), std::out_of_range);
+}
+
+TEST(Graph, NeighborsSortedAndDegrees) {
+  GraphBuilder b(5);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 4);
+  Graph g = b.build();
+  auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 0u);
+  auto [lo, hi] = g.degree_range();
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 3u);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Bfs, DistancesOnCycle) {
+  Graph c = make_cycle(10);
+  BfsResult r = bfs(c, 0);
+  EXPECT_EQ(r.dist[5], 5u);
+  EXPECT_EQ(r.dist[9], 1u);
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(diameter(c), 5u);
+  EXPECT_EQ(diameter_vertex_transitive(c), 5u);
+  EXPECT_TRUE(is_connected(c));
+}
+
+TEST(Bfs, DistanceEarlyExitMatchesFullBfs) {
+  Graph g = Hypercube(6).to_graph();
+  BfsResult r = bfs(g, 5);
+  for (NodeId t = 0; t < g.num_nodes(); t += 7) {
+    EXPECT_EQ(bfs_distance(g, 5, t), r.dist[t]);
+  }
+}
+
+TEST(Bfs, ShortestPathIsValid) {
+  Graph g = Hypercube(5).to_graph();
+  auto p = shortest_path(g, 0, 31);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 6u);  // distance 5
+  for (std::size_t i = 1; i < p->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*p)[i - 1], (*p)[i]));
+  }
+}
+
+TEST(Bfs, AvoidingFaultsDisconnects) {
+  Graph c = make_cycle(8);
+  std::vector<char> faulty(8, 0);
+  faulty[1] = faulty[7] = 1;  // cut both sides of vertex 0
+  BfsResult r = bfs_avoiding(c, 0, faulty);
+  EXPECT_EQ(r.dist[4], kUnreachable);
+  EXPECT_FALSE(is_connected_after_removal(c, faulty));
+  faulty[7] = 0;
+  EXPECT_TRUE(is_connected_after_removal(c, faulty));
+}
+
+TEST(Bfs, AverageDistanceOfCompleteGraphIsOne) {
+  GraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  }
+  EXPECT_DOUBLE_EQ(average_distance(b.build(), 100), 1.0);
+}
+
+TEST(EmbeddingCheck, AcceptsIdentity) {
+  Graph c = make_cycle(6);
+  std::vector<NodeId> id{0, 1, 2, 3, 4, 5};
+  EmbeddingCheck r = check_embedding(c, c, id);
+  EXPECT_TRUE(r.injective);
+  EXPECT_TRUE(r.dilation_one);
+}
+
+TEST(EmbeddingCheck, RejectsNonInjective) {
+  Graph c = make_cycle(4);
+  std::vector<NodeId> bad{0, 1, 0, 3};
+  EXPECT_FALSE(check_embedding(c, c, bad).injective);
+}
+
+TEST(EmbeddingCheck, MeasuresDilation) {
+  // Map C4 onto every other vertex of C8: edges stretch to distance 2.
+  Graph guest = make_cycle(4);
+  Graph host = make_cycle(8);
+  std::vector<NodeId> map{0, 2, 4, 6};
+  EmbeddingCheck r = check_embedding_with_dilation(guest, host, map);
+  EXPECT_TRUE(r.injective);
+  EXPECT_FALSE(r.dilation_one);
+  EXPECT_EQ(r.dilation, 2u);
+}
+
+TEST(SubgraphSearch, FindsCycleInHypercube) {
+  Graph host = Hypercube(3).to_graph();
+  auto r = find_subgraph(make_cycle(6), host);
+  ASSERT_TRUE(r.embedding.has_value());
+  EXPECT_TRUE(check_embedding(make_cycle(6), host, *r.embedding).dilation_one);
+}
+
+TEST(SubgraphSearch, RefutesOddCycleInHypercube) {
+  // Hypercubes are bipartite: no odd cycles.
+  auto r = find_subgraph(make_cycle(5), Hypercube(4).to_graph());
+  EXPECT_FALSE(r.embedding.has_value());
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(SubgraphSearch, SevenNodeTreeNotInH3) {
+  // T(3) (7 vertices) does not fit in H_3: its parity classes are 5/2 but
+  // H_3 offers only 4/4. The classical positive result is T(h) in H_{h+1}.
+  auto r = find_subgraph(make_complete_binary_tree(3), Hypercube(3).to_graph());
+  EXPECT_FALSE(r.embedding.has_value());
+  EXPECT_TRUE(r.exhaustive);
+}
+
+TEST(SubgraphSearch, SevenNodeTreeInH4) {
+  Graph host = Hypercube(4).to_graph();
+  auto r = find_subgraph(make_complete_binary_tree(3), host);
+  ASSERT_TRUE(r.embedding.has_value());
+  EXPECT_TRUE(check_embedding(make_complete_binary_tree(3), host, *r.embedding)
+                  .dilation_one);
+}
+
+TEST(SubgraphSearch, RespectsStepBudget) {
+  SubgraphSearchOptions opts;
+  opts.max_steps = 1;
+  auto r = find_subgraph(make_cycle(12), Hypercube(6).to_graph(), opts);
+  EXPECT_FALSE(r.embedding.has_value());
+  EXPECT_FALSE(r.exhaustive);  // gave up, proves nothing
+}
+
+TEST(GuestGraphs, TorusStructure) {
+  Graph t = make_torus(4, 5);
+  EXPECT_EQ(t.num_nodes(), 20u);
+  EXPECT_EQ(t.num_edges(), 40u);
+  EXPECT_TRUE(t.is_regular());
+}
+
+TEST(GuestGraphs, MeshOfTreesCounts) {
+  // MT(4, 8): 32 leaves + 4*7 row internals + 8*3 col internals = 84 nodes.
+  Graph mt = make_mesh_of_trees(2, 3);
+  EXPECT_EQ(mt.num_nodes(), 84u);
+  // Each tree with L leaves contributes 2(L-1) edges: rows 4*14, cols 8*6.
+  EXPECT_EQ(mt.num_edges(), 4u * 14 + 8u * 6);
+  EXPECT_TRUE(is_connected(mt));
+}
+
+TEST(GuestGraphs, DoubleRootedTree) {
+  Graph drt = make_double_rooted_tree(4);
+  EXPECT_EQ(drt.num_nodes(), 16u);
+  EXPECT_EQ(drt.num_edges(), 15u);  // a tree
+  EXPECT_TRUE(is_connected(drt));
+  EXPECT_TRUE(drt.has_edge(0, 1));
+}
+
+TEST(GuestGraphs, CompleteBinaryTreeShape) {
+  Graph t = make_complete_binary_tree(4);  // 15 vertices
+  EXPECT_EQ(t.num_nodes(), 15u);
+  EXPECT_EQ(t.num_edges(), 14u);
+  EXPECT_EQ(t.degree(0), 2u);   // root
+  EXPECT_EQ(t.degree(14), 1u);  // a leaf
+  EXPECT_EQ(t.degree(1), 3u);   // internal
+}
+
+}  // namespace
+}  // namespace hbnet

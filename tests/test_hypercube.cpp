@@ -1,0 +1,123 @@
+// Hypercube H_m: structure, routing optimality, the m-disjoint-path family,
+// Gray-code cycles and the Cayley audit (Section 2.1 substrate).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(Hypercube, CountsAndBasics) {
+  Hypercube h(5);
+  EXPECT_EQ(h.num_nodes(), 32u);
+  EXPECT_EQ(h.num_edges(), 80u);
+  EXPECT_EQ(h.degree(), 5u);
+  EXPECT_EQ(h.diameter(), 5u);
+  EXPECT_EQ(h.neighbors(0).size(), 5u);
+}
+
+TEST(Hypercube, RejectsBadDimension) {
+  EXPECT_THROW(Hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Hypercube(27), std::invalid_argument);
+}
+
+TEST(Hypercube, DistanceIsHamming) {
+  EXPECT_EQ(Hypercube::distance(0b1010, 0b0110), 2u);
+  EXPECT_EQ(Hypercube::distance(7, 7), 0u);
+}
+
+TEST(Hypercube, RouteIsShortestAndValid) {
+  Hypercube h(6);
+  for (CubeWord u : {0u, 13u, 63u}) {
+    for (CubeWord v : {5u, 21u, 42u, 63u}) {
+      auto path = h.route(u, v);
+      EXPECT_EQ(path.size(), Hypercube::distance(u, v) + 1);
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        EXPECT_EQ(Hypercube::distance(path[i - 1], path[i]), 1u);
+      }
+    }
+  }
+}
+
+class HypercubeParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HypercubeParam, GraphMatchesTheory) {
+  const unsigned m = GetParam();
+  Hypercube h(m);
+  Graph g = h.to_graph();
+  EXPECT_EQ(g.num_nodes(), h.num_nodes());
+  EXPECT_EQ(g.num_edges(), h.num_edges());
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), m);
+  EXPECT_EQ(diameter_vertex_transitive(g), m);
+}
+
+TEST_P(HypercubeParam, CayleyAudit) {
+  CayleyAudit a = audit(Hypercube(GetParam()).cayley_spec());
+  EXPECT_TRUE(a.all_ok());
+}
+
+TEST_P(HypercubeParam, DisjointPathsExhaustive) {
+  const unsigned m = GetParam();
+  Hypercube h(m);
+  Graph g = h.to_graph();
+  for (CubeWord v = 1; v < h.num_nodes(); ++v) {
+    auto family = h.disjoint_paths(0, v);
+    ASSERT_EQ(family.size(), m);
+    std::vector<Path> as_paths;
+    for (const auto& p : family) {
+      as_paths.emplace_back(p.begin(), p.end());
+    }
+    PathFamilyCheck check = check_disjoint_paths(g, as_paths, 0, v);
+    EXPECT_TRUE(check.ok) << "v=" << v << ": " << check.error;
+    // Saad-Schultz length bound: dist + 2.
+    EXPECT_LE(max_path_length(as_paths), Hypercube::distance(0, v) + 2);
+  }
+}
+
+TEST_P(HypercubeParam, EvenCyclesAllLengths) {
+  const unsigned m = GetParam();
+  Hypercube h(m);
+  Graph g = h.to_graph();
+  for (std::uint64_t k = 4; k <= h.num_nodes(); k += 2) {
+    auto cycle = h.even_cycle(k);
+    ASSERT_EQ(cycle.size(), k);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_TRUE(g.has_edge(cycle[i], cycle[(i + 1) % k]))
+          << "k=" << k << " i=" << i;
+    }
+    std::vector<CubeWord> sorted = cycle;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end())
+        << "repeated vertex in cycle k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeParam, ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(Hypercube, EvenCycleRejectsInvalid) {
+  Hypercube h(4);
+  EXPECT_THROW(h.even_cycle(3), std::invalid_argument);   // odd
+  EXPECT_THROW(h.even_cycle(2), std::invalid_argument);   // too short
+  EXPECT_THROW(h.even_cycle(18), std::invalid_argument);  // > 2^m
+}
+
+TEST(Hypercube, DisjointPathsRejectEqualEndpoints) {
+  EXPECT_THROW(Hypercube(3).disjoint_paths(1, 1), std::invalid_argument);
+}
+
+TEST(Hypercube, GrayCodeAdjacency) {
+  for (std::uint64_t i = 0; i + 1 < 64; ++i) {
+    EXPECT_EQ(Hypercube::distance(Hypercube::gray(i), Hypercube::gray(i + 1)),
+              1u);
+  }
+}
+
+}  // namespace
+}  // namespace hbnet

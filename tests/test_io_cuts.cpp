@@ -1,0 +1,108 @@
+// Graph I/O round trips and cut-width / bisection analysis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/cuts.hpp"
+#include "graph/io.hpp"
+#include "topology/guest_graphs.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = Hypercube(4).to_graph();
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  auto back = read_edge_list(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_nodes(), g.num_nodes());
+  ASSERT_EQ(back->num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      EXPECT_TRUE(back->has_edge(u, v));
+    }
+  }
+}
+
+TEST(GraphIo, RejectsMalformed) {
+  {
+    std::stringstream ss("not a graph");
+    EXPECT_FALSE(read_edge_list(ss).has_value());
+  }
+  {
+    std::stringstream ss("4 2\n0 1\n");  // promised 2 edges, gave 1
+    EXPECT_FALSE(read_edge_list(ss).has_value());
+  }
+  {
+    std::stringstream ss("4 1\n0 9\n");  // endpoint out of range
+    EXPECT_FALSE(read_edge_list(ss).has_value());
+  }
+  {
+    std::stringstream ss("4 2\n0 1\n0 1\n");  // duplicate edge
+    EXPECT_FALSE(read_edge_list(ss).has_value());
+  }
+}
+
+TEST(GraphIo, DotContainsNodesAndEdges) {
+  Graph g = make_cycle(4);
+  std::ostringstream os;
+  DotOptions opts;
+  opts.graph_name = "ring";
+  opts.labels = {"a", "b", "c", "d"};
+  opts.highlight = {2};
+  write_dot(os, g, opts);
+  std::string dot = os.str();
+  EXPECT_NE(dot.find("graph ring {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"c\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n3"), std::string::npos);  // wrap edge (0,3)
+}
+
+TEST(Cuts, CutWidthOnCycle) {
+  Graph c = make_cycle(8);
+  std::vector<char> side(8, 0);
+  for (int i = 0; i < 4; ++i) side[i] = 1;  // contiguous half: 2 crossings
+  EXPECT_EQ(cut_width(c, side), 2u);
+  std::vector<char> alternating(8);
+  for (int i = 0; i < 8; ++i) alternating[i] = i % 2;
+  EXPECT_EQ(cut_width(c, alternating), 8u);
+}
+
+TEST(Cuts, HypercubeDimensionCutViaHb) {
+  // Each cube-bit cut of HB(m,n) crosses exactly one edge per node pair:
+  // width = N/2.
+  HyperButterfly hb(2, 3);
+  auto cuts = hb_dimension_cuts(hb);
+  ASSERT_GE(cuts.size(), 2u);
+  for (unsigned i = 0; i < hb.cube_dimension(); ++i) {
+    EXPECT_EQ(cuts[i].width, hb.num_nodes() / 2) << cuts[i].name;
+    EXPECT_TRUE(cuts[i].balanced);
+  }
+  // Butterfly word-bit cuts: word bit j flips only on the two cross edges
+  // over level-cycle edge j: width = 2 per (cube layer x word pair)...
+  // measured value just needs to be positive and balanced.
+  for (std::size_t i = hb.cube_dimension(); i < cuts.size(); ++i) {
+    EXPECT_GT(cuts[i].width, 0u) << cuts[i].name;
+  }
+}
+
+TEST(Cuts, SampledBisectionBeatsWorstCase) {
+  Graph g = Hypercube(5).to_graph();
+  std::uint64_t ub = sampled_bisection_upper_bound(g, 3, 7);
+  // True bisection of H_5 is 16 (= N/2); local search from random starts
+  // should land at most at the trivial dimension cut ... allow slack but
+  // require a valid (<= worst random) value.
+  EXPECT_GE(ub, 16u);       // cannot beat the true bisection
+  EXPECT_LE(ub, 5u * 16u);  // and must not exceed all-edges silliness
+}
+
+TEST(Cuts, ThompsonBound) {
+  EXPECT_EQ(thompson_area_lower_bound(0), 0u);
+  EXPECT_EQ(thompson_area_lower_bound(12), 144u);
+}
+
+}  // namespace
+}  // namespace hbnet

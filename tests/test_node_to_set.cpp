@@ -1,0 +1,95 @@
+// Node-to-set disjoint paths: |S| <= m+4 targets, paths disjoint except at
+// the source (Menger consequence of Corollary 1).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+
+#include "core/node_to_set.hpp"
+
+namespace hbnet {
+namespace {
+
+void expect_valid_family(const HyperButterfly& hb, HbNode u,
+                         const std::vector<HbNode>& targets,
+                         const NodeToSetResult& r) {
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.paths.size(), targets.size());
+  std::unordered_set<HbIndex> used;  // interiors + targets, excluding u
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const auto& p = r.paths[i];
+    ASSERT_FALSE(p.empty()) << "target " << i;
+    EXPECT_TRUE(p.front() == u);
+    EXPECT_TRUE(p.back() == targets[i]);
+    for (std::size_t j = 1; j < p.size(); ++j) {
+      EXPECT_EQ(hb.distance(p[j - 1], p[j]), 1u);
+      EXPECT_TRUE(used.insert(hb.index_of(p[j])).second)
+          << "shared vertex across paths";
+    }
+  }
+}
+
+TEST(NodeToSet, FullFanOut) {
+  HyperButterfly hb(2, 3);
+  Graph g = hb.to_graph();
+  HbNode u{0, {0, 0}};
+  // m+4 = 6 scattered targets.
+  std::vector<HbNode> targets = {{3, {1, 1}}, {1, {7, 2}}, {2, {4, 0}},
+                                 {0, {5, 1}}, {3, {2, 2}}, {1, {0, 1}}};
+  expect_valid_family(hb, u, targets, node_to_set_paths_on(hb, g, u, targets));
+}
+
+TEST(NodeToSet, TargetsIncludeNeighbors) {
+  HyperButterfly hb(2, 3);
+  Graph g = hb.to_graph();
+  HbNode u{0, {0, 0}};
+  auto nbrs = hb.neighbors(u);
+  std::vector<HbNode> targets(nbrs.begin(), nbrs.begin() + 4);
+  expect_valid_family(hb, u, targets, node_to_set_paths_on(hb, g, u, targets));
+}
+
+TEST(NodeToSet, RandomSweep) {
+  HyperButterfly hb(2, 3);
+  Graph g = hb.to_graph();
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<HbIndex> pick(0, hb.num_nodes() - 1);
+  for (int trial = 0; trial < 40; ++trial) {
+    HbNode u = hb.node_at(pick(rng));
+    std::unordered_set<HbIndex> chosen;
+    std::vector<HbNode> targets;
+    while (targets.size() < hb.degree()) {
+      HbIndex t = pick(rng);
+      if (t == hb.index_of(u) || !chosen.insert(t).second) continue;
+      targets.push_back(hb.node_at(t));
+    }
+    expect_valid_family(hb, u, targets,
+                        node_to_set_paths_on(hb, g, u, targets));
+  }
+}
+
+TEST(NodeToSet, RejectsBadInput) {
+  HyperButterfly hb(1, 3);
+  Graph g = hb.to_graph();
+  HbNode u{0, {0, 0}};
+  EXPECT_THROW((void)node_to_set_paths_on(hb, g, u, {}),
+               std::invalid_argument);
+  std::vector<HbNode> too_many(hb.degree() + 1, HbNode{1, {1, 1}});
+  EXPECT_THROW((void)node_to_set_paths_on(hb, g, u, too_many),
+               std::invalid_argument);
+  // Duplicates / source in S: reported as infeasible, not thrown.
+  EXPECT_FALSE(node_to_set_paths_on(hb, g, u, {u}).ok());
+  HbNode t{1, {1, 1}};
+  EXPECT_FALSE(node_to_set_paths_on(hb, g, u, {t, t}).ok());
+}
+
+TEST(NodeToSet, SingleTargetIsAPath) {
+  HyperButterfly hb(1, 3);
+  HbNode u{0, {0, 0}}, v{1, {6, 2}};
+  NodeToSetResult r = node_to_set_paths(hb, u, {v});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.paths[0].front() == u);
+  EXPECT_TRUE(r.paths[0].back() == v);
+}
+
+}  // namespace
+}  // namespace hbnet

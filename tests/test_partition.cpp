@@ -1,0 +1,130 @@
+// Partitionability (Remark 5 / scalability): cube splits are genuine
+// HB(m',n) copies, and the buddy allocator space-shares them correctly.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(Partition, CubeSplitCounts) {
+  HyperButterfly hb(3, 3);
+  auto parts = cube_split(hb, 2);
+  EXPECT_EQ(parts.size(), 2u);  // 2^(3-2)
+  auto fine = cube_split(hb, 1);
+  EXPECT_EQ(fine.size(), 4u);
+  EXPECT_THROW(cube_split(hb, 0), std::invalid_argument);
+  EXPECT_THROW(cube_split(hb, 4), std::invalid_argument);
+}
+
+TEST(Partition, LiftLowerRoundTrip) {
+  HyperButterfly hb(3, 3);
+  SubHyperButterfly part{2, 1};  // top bit fixed to 1
+  HbNode v{0b01, {5, 2}};
+  HbNode lifted = part.lift(v);
+  EXPECT_EQ(lifted.cube, 0b101u);
+  EXPECT_TRUE(part.contains_cube(lifted.cube));
+  EXPECT_FALSE(part.contains_cube(0b001));
+  EXPECT_TRUE(part.lower(lifted) == v);
+}
+
+TEST(Partition, CubeSplitIsIsomorphicEmbedding) {
+  for (auto [m, n, sub] : {std::tuple{2u, 3u, 1u}, std::tuple{3u, 3u, 2u},
+                           std::tuple{3u, 4u, 1u}, std::tuple{4u, 3u, 2u}}) {
+    HyperButterfly hb(m, n);
+    EXPECT_TRUE(verify_cube_split(hb, sub))
+        << "m=" << m << " n=" << n << " sub=" << sub;
+  }
+}
+
+TEST(Allocator, GrantsAndCoalesces) {
+  HyperButterfly hb(3, 3);
+  PartitionAllocator alloc(hb);
+  EXPECT_EQ(alloc.largest_free(), 3u);
+
+  auto a = alloc.allocate(2);  // half the machine
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->sub_m, 2u);
+  EXPECT_EQ(alloc.layers_in_use(), 4u);
+  EXPECT_EQ(alloc.largest_free(), 2u);
+
+  auto b = alloc.allocate(2);  // the other half
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->prefix, b->prefix);
+  EXPECT_EQ(alloc.layers_in_use(), 8u);
+  EXPECT_FALSE(alloc.allocate(1).has_value());  // full
+
+  alloc.release(*a);
+  EXPECT_EQ(alloc.layers_in_use(), 4u);
+  alloc.release(*b);
+  EXPECT_EQ(alloc.layers_in_use(), 0u);
+  EXPECT_EQ(alloc.largest_free(), 3u);  // coalesced back to one block
+}
+
+TEST(Allocator, SplitsDownAndRefusesWhenFragmented) {
+  HyperButterfly hb(3, 3);
+  PartitionAllocator alloc(hb);
+  auto small = alloc.allocate(1);  // 2 of 8 layers
+  ASSERT_TRUE(small.has_value());
+  // Largest remaining block after splitting 3 -> 2 + (1 used +1 free).
+  EXPECT_EQ(alloc.largest_free(), 2u);
+  auto big = alloc.allocate(3);
+  EXPECT_FALSE(big.has_value());  // whole machine no longer available
+  auto half = alloc.allocate(2);
+  ASSERT_TRUE(half.has_value());
+  auto quarter = alloc.allocate(1);
+  ASSERT_TRUE(quarter.has_value());
+  EXPECT_EQ(alloc.layers_in_use(), 8u);
+  alloc.release(*quarter);
+  alloc.release(*small);
+  alloc.release(*half);
+  EXPECT_EQ(alloc.largest_free(), 3u);
+}
+
+TEST(Allocator, DoubleFreeThrows) {
+  HyperButterfly hb(2, 3);
+  PartitionAllocator alloc(hb);
+  auto a = alloc.allocate(1);
+  ASSERT_TRUE(a.has_value());
+  alloc.release(*a);
+  EXPECT_THROW(alloc.release(*a), std::invalid_argument);
+}
+
+TEST(Allocator, ForeignBlockThrows) {
+  HyperButterfly hb(2, 3);
+  PartitionAllocator alloc(hb);
+  SubHyperButterfly bogus{5, 0};
+  EXPECT_THROW(alloc.release(bogus), std::invalid_argument);
+  SubHyperButterfly bad_prefix{1, 9};
+  EXPECT_THROW(alloc.release(bad_prefix), std::invalid_argument);
+}
+
+TEST(Allocator, ReleasingParentOfGrantedChildrenThrows) {
+  // Two children granted; releasing their (never-granted) parent must be
+  // rejected rather than corrupting the free lists.
+  HyperButterfly hb(2, 3);
+  PartitionAllocator alloc(hb);
+  auto a = alloc.allocate(1);
+  auto b = alloc.allocate(1);
+  ASSERT_TRUE(a && b);
+  SubHyperButterfly parent{2, 0};
+  EXPECT_THROW(alloc.release(parent), std::invalid_argument);
+  EXPECT_EQ(alloc.layers_in_use(), 4u);  // state untouched
+  alloc.release(*a);
+  alloc.release(*b);
+  EXPECT_EQ(alloc.layers_in_use(), 0u);
+}
+
+TEST(Allocator, WholeMachine) {
+  HyperButterfly hb(2, 3);
+  PartitionAllocator alloc(hb);
+  auto all = alloc.allocate(2);
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->prefix, 0u);
+  EXPECT_FALSE(alloc.largest_free().has_value());
+  alloc.release(*all);
+  EXPECT_EQ(alloc.largest_free(), 2u);
+}
+
+}  // namespace
+}  // namespace hbnet

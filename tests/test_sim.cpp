@@ -1,0 +1,163 @@
+// Packet simulator: conservation laws, zero-load latency, contention
+// behavior, determinism and fault handling.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "sim/simulator.hpp"
+
+namespace hbnet {
+namespace {
+
+SimConfig light_config() {
+  SimConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 5000;
+  return cfg;
+}
+
+TEST(Simulator, ConservationNoFaults) {
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  SimStats stats = run_simulation(*topo, light_config());
+  EXPECT_GT(stats.injected(), 0u);
+  EXPECT_EQ(stats.dropped(), 0u);
+  // With a long drain, every measured packet is delivered.
+  EXPECT_EQ(stats.delivered(), stats.injected());
+}
+
+TEST(Simulator, ZeroLoadLatencyTracksHops) {
+  // At vanishing load, queueing is negligible: latency ~= hops.
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.002;
+  SimStats stats = run_simulation(*topo, cfg);
+  ASSERT_GT(stats.delivered(), 0u);
+  EXPECT_NEAR(stats.mean_latency(), stats.mean_hops(), 0.5);
+}
+
+TEST(Simulator, MeanHopsMatchesAverageDistanceUnderUniform) {
+  auto topo = make_hypercube_sim(6);
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.01;
+  cfg.measure_cycles = 2000;
+  SimStats stats = run_simulation(*topo, cfg);
+  // Uniform traffic on H_6: expected distance m/2 * (N/(N-1)) ~ 3.05.
+  ASSERT_GT(stats.delivered(), 500u);
+  EXPECT_NEAR(stats.mean_hops(), 3.05, 0.3);
+}
+
+TEST(Simulator, LatencyGrowsWithLoad) {
+  auto topo = make_butterfly_sim(4);
+  SimConfig low = light_config();
+  low.injection_rate = 0.01;
+  SimConfig high = light_config();
+  high.injection_rate = 0.25;
+  double lat_low = run_simulation(*topo, low).mean_latency();
+  double lat_high = run_simulation(*topo, high).mean_latency();
+  EXPECT_GT(lat_high, lat_low);
+}
+
+TEST(Simulator, DeterministicForFixedSeed) {
+  auto topo = make_hyper_debruijn_sim(2, 3);
+  SimConfig cfg = light_config();
+  SimStats a = run_simulation(*topo, cfg);
+  SimStats b = run_simulation(*topo, cfg);
+  EXPECT_EQ(a.delivered(), b.delivered());
+  EXPECT_DOUBLE_EQ(a.mean_latency(), b.mean_latency());
+}
+
+TEST(Simulator, FaultsRerouteOnHb) {
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  std::vector<char> faulty(topo->num_nodes(), 0);
+  // m+3 = 5 faults: within the Theorem-5 guarantee, so every packet whose
+  // endpoints are alive still gets a path -- no drops.
+  for (std::uint32_t f : {5u, 17u, 40u, 63u, 80u}) faulty[f] = 1;
+  SimConfig cfg = light_config();
+  SimStats stats = run_simulation(*topo, cfg, faulty);
+  EXPECT_GT(stats.delivered(), 0u);
+  EXPECT_EQ(stats.dropped(), 0u);
+  EXPECT_EQ(stats.delivered(), stats.injected());
+}
+
+TEST(Simulator, FaultsDropOnTopologyWithoutFtRouting) {
+  auto topo = make_hypercube_sim(4);
+  std::vector<char> faulty(topo->num_nodes(), 0);
+  faulty[3] = 1;
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.2;
+  SimStats stats = run_simulation(*topo, cfg, faulty);
+  // Hypercube adapter has no fault-tolerant routing: packets whose route
+  // would need computation are dropped at injection.
+  EXPECT_GT(stats.dropped(), 0u);
+}
+
+TEST(Simulator, TrafficPatternsProduceValidDestinations) {
+  for (TrafficPattern p :
+       {TrafficPattern::kUniform, TrafficPattern::kBitComplement,
+        TrafficPattern::kBitReversal, TrafficPattern::kShuffle,
+        TrafficPattern::kHotspot}) {
+    TrafficGenerator gen(p, 96, 123);
+    for (std::uint32_t src = 0; src < 96; src += 7) {
+      std::uint32_t dst = gen.destination(src);
+      EXPECT_LT(dst, 96u) << to_string(p);
+      EXPECT_NE(dst, src) << to_string(p);
+    }
+  }
+}
+
+TEST(Simulator, DynamicFaultEventsRerouteOnHb) {
+  // Kill nodes mid-run: HB re-source-routes in flight; every measured
+  // packet is either delivered or explicitly dropped (conservation), and
+  // with few faults drops stay rare.
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.05;
+  std::vector<FaultEvent> events{{120, 7}, {150, 33}, {180, 61}};
+  SimStats stats = run_simulation_with_fault_events(*topo, cfg, events);
+  EXPECT_GT(stats.delivered(), 0u);
+  EXPECT_EQ(stats.delivered() + stats.dropped(), stats.injected());
+  // 3 faults <= m+3: online repair should keep drops to the packets queued
+  // at dying nodes only -- a tiny fraction.
+  EXPECT_LT(static_cast<double>(stats.dropped()),
+            0.05 * static_cast<double>(stats.injected()) + 5);
+}
+
+TEST(Simulator, DynamicFaultsOnDeadDestinationDrop) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.2;
+  // Kill many nodes early so some destinations die with packets en route.
+  std::vector<FaultEvent> events;
+  for (std::uint32_t v = 0; v < 12; ++v) {
+    events.push_back({60 + 2 * v, v * 3});
+  }
+  SimStats stats = run_simulation_with_fault_events(*topo, cfg, events);
+  EXPECT_EQ(stats.delivered() + stats.dropped(), stats.injected());
+}
+
+TEST(Simulator, ValiantModeConservesAndStretches) {
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  SimConfig cfg = light_config();
+  cfg.injection_rate = 0.01;
+  SimStats native = run_simulation(*topo, cfg);
+  cfg.routing = RoutingMode::kValiant;
+  SimStats valiant = run_simulation(*topo, cfg);
+  EXPECT_EQ(valiant.delivered(), valiant.injected());
+  EXPECT_EQ(valiant.dropped(), 0u);
+  // Valiant pays roughly double the hops at low load.
+  EXPECT_GT(valiant.mean_hops(), native.mean_hops() * 1.3);
+  EXPECT_LT(valiant.mean_hops(), native.mean_hops() * 3.0);
+}
+
+TEST(Simulator, StatsPercentiles) {
+  SimStats s;
+  for (std::uint64_t l = 1; l <= 100; ++l) s.record_delivery(l, l);
+  EXPECT_EQ(s.latency_percentile(0.0), 1u);
+  EXPECT_EQ(s.latency_percentile(1.0), 100u);
+  EXPECT_EQ(s.max_latency(), 100u);
+  EXPECT_NEAR(s.mean_latency(), 50.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace hbnet
