@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjoint_paths.dir/bench_disjoint_paths.cpp.o"
+  "CMakeFiles/bench_disjoint_paths.dir/bench_disjoint_paths.cpp.o.d"
+  "bench_disjoint_paths"
+  "bench_disjoint_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjoint_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

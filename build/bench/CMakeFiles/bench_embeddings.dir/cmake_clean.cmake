@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_embeddings.dir/bench_embeddings.cpp.o"
+  "CMakeFiles/bench_embeddings.dir/bench_embeddings.cpp.o.d"
+  "bench_embeddings"
+  "bench_embeddings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_embeddings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wormhole.dir/bench_wormhole.cpp.o"
+  "CMakeFiles/bench_wormhole.dir/bench_wormhole.cpp.o.d"
+  "bench_wormhole"
+  "bench_wormhole.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wormhole.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

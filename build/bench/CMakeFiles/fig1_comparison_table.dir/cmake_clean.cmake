@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_comparison_table.dir/fig1_comparison_table.cpp.o"
+  "CMakeFiles/fig1_comparison_table.dir/fig1_comparison_table.cpp.o.d"
+  "fig1_comparison_table"
+  "fig1_comparison_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_comparison_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_routing.dir/fault_tolerant_routing.cpp.o"
+  "CMakeFiles/fault_tolerant_routing.dir/fault_tolerant_routing.cpp.o.d"
+  "fault_tolerant_routing"
+  "fault_tolerant_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

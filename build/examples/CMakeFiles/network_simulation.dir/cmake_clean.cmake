@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_simulation.dir/network_simulation.cpp.o"
+  "CMakeFiles/network_simulation.dir/network_simulation.cpp.o.d"
+  "network_simulation"
+  "network_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_sharing.dir/space_sharing.cpp.o"
+  "CMakeFiles/space_sharing.dir/space_sharing.cpp.o.d"
+  "space_sharing"
+  "space_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cuts.cpp" "src/CMakeFiles/hbnet.dir/analysis/cuts.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/analysis/cuts.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/CMakeFiles/hbnet.dir/analysis/deadlock.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/analysis/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/properties.cpp" "src/CMakeFiles/hbnet.dir/analysis/properties.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/analysis/properties.cpp.o.d"
+  "/root/repo/src/analysis/spectral.cpp" "src/CMakeFiles/hbnet.dir/analysis/spectral.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/analysis/spectral.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/CMakeFiles/hbnet.dir/analysis/tables.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/analysis/tables.cpp.o.d"
+  "/root/repo/src/core/broadcast.cpp" "src/CMakeFiles/hbnet.dir/core/broadcast.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/broadcast.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "src/CMakeFiles/hbnet.dir/core/collectives.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/collectives.cpp.o.d"
+  "/root/repo/src/core/disjoint_paths.cpp" "src/CMakeFiles/hbnet.dir/core/disjoint_paths.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/disjoint_paths.cpp.o.d"
+  "/root/repo/src/core/embeddings.cpp" "src/CMakeFiles/hbnet.dir/core/embeddings.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/embeddings.cpp.o.d"
+  "/root/repo/src/core/fault_routing.cpp" "src/CMakeFiles/hbnet.dir/core/fault_routing.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/fault_routing.cpp.o.d"
+  "/root/repo/src/core/hyper_butterfly.cpp" "src/CMakeFiles/hbnet.dir/core/hyper_butterfly.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/hyper_butterfly.cpp.o.d"
+  "/root/repo/src/core/node_to_set.cpp" "src/CMakeFiles/hbnet.dir/core/node_to_set.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/node_to_set.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/hbnet.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/routing.cpp" "src/CMakeFiles/hbnet.dir/core/routing.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/core/routing.cpp.o.d"
+  "/root/repo/src/distsim/engine.cpp" "src/CMakeFiles/hbnet.dir/distsim/engine.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/distsim/engine.cpp.o.d"
+  "/root/repo/src/distsim/leader_election.cpp" "src/CMakeFiles/hbnet.dir/distsim/leader_election.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/distsim/leader_election.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/hbnet.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/hbnet.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/cayley.cpp" "src/CMakeFiles/hbnet.dir/graph/cayley.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/cayley.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/hbnet.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/disjoint_paths.cpp" "src/CMakeFiles/hbnet.dir/graph/disjoint_paths.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/disjoint_paths.cpp.o.d"
+  "/root/repo/src/graph/embedding_check.cpp" "src/CMakeFiles/hbnet.dir/graph/embedding_check.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/embedding_check.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/hbnet.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/hbnet.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/CMakeFiles/hbnet.dir/graph/maxflow.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/maxflow.cpp.o.d"
+  "/root/repo/src/graph/parallel_bfs.cpp" "src/CMakeFiles/hbnet.dir/graph/parallel_bfs.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/parallel_bfs.cpp.o.d"
+  "/root/repo/src/graph/subgraph_search.cpp" "src/CMakeFiles/hbnet.dir/graph/subgraph_search.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/graph/subgraph_search.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hbnet.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/hbnet.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/hbnet.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/CMakeFiles/hbnet.dir/sim/traffic.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/sim/traffic.cpp.o.d"
+  "/root/repo/src/sim/wormhole.cpp" "src/CMakeFiles/hbnet.dir/sim/wormhole.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/sim/wormhole.cpp.o.d"
+  "/root/repo/src/topology/butterfly.cpp" "src/CMakeFiles/hbnet.dir/topology/butterfly.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/butterfly.cpp.o.d"
+  "/root/repo/src/topology/ccc.cpp" "src/CMakeFiles/hbnet.dir/topology/ccc.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/ccc.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "src/CMakeFiles/hbnet.dir/topology/debruijn.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/debruijn.cpp.o.d"
+  "/root/repo/src/topology/guest_graphs.cpp" "src/CMakeFiles/hbnet.dir/topology/guest_graphs.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/guest_graphs.cpp.o.d"
+  "/root/repo/src/topology/hyper_debruijn.cpp" "src/CMakeFiles/hbnet.dir/topology/hyper_debruijn.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/hyper_debruijn.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/CMakeFiles/hbnet.dir/topology/hypercube.cpp.o" "gcc" "src/CMakeFiles/hbnet.dir/topology/hypercube.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_broadcast.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_broadcast.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_broadcast.cpp.o.d"
+  "/root/repo/tests/test_butterfly.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_butterfly.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_butterfly.cpp.o.d"
+  "/root/repo/tests/test_ccc.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_ccc.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_ccc.cpp.o.d"
+  "/root/repo/tests/test_debruijn.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_debruijn.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_debruijn.cpp.o.d"
+  "/root/repo/tests/test_disjoint_paths.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_disjoint_paths.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_disjoint_paths.cpp.o.d"
+  "/root/repo/tests/test_distsim.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_distsim.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_distsim.cpp.o.d"
+  "/root/repo/tests/test_embeddings.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_embeddings.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_embeddings.cpp.o.d"
+  "/root/repo/tests/test_fault_routing.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_fault_routing.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_fault_routing.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hyper_butterfly.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_hyper_butterfly.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_hyper_butterfly.cpp.o.d"
+  "/root/repo/tests/test_hypercube.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_hypercube.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_hypercube.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_io_cuts.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_io_cuts.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_io_cuts.cpp.o.d"
+  "/root/repo/tests/test_large_instance.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_large_instance.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_large_instance.cpp.o.d"
+  "/root/repo/tests/test_maxflow.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_maxflow.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_maxflow.cpp.o.d"
+  "/root/repo/tests/test_node_to_set.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_node_to_set.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_node_to_set.cpp.o.d"
+  "/root/repo/tests/test_parallel_deadlock.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_parallel_deadlock.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_parallel_deadlock.cpp.o.d"
+  "/root/repo/tests/test_partition.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_partition.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_partition.cpp.o.d"
+  "/root/repo/tests/test_random_reference.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_random_reference.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_random_reference.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_spectral.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_spectral.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_spectral.cpp.o.d"
+  "/root/repo/tests/test_wormhole.cpp" "tests/CMakeFiles/hbnet_tests.dir/test_wormhole.cpp.o" "gcc" "tests/CMakeFiles/hbnet_tests.dir/test_wormhole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hbnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

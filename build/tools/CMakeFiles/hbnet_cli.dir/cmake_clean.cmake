@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbnet_cli.dir/hbnet_cli.cpp.o"
+  "CMakeFiles/hbnet_cli.dir/hbnet_cli.cpp.o.d"
+  "hbnet_cli"
+  "hbnet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbnet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
