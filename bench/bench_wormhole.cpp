@@ -6,8 +6,11 @@
 // 6-class segment-dateline is deadlock free.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
+#include "obs/sink.hpp"
 #include "sim/wormhole.hpp"
 
 namespace {
@@ -59,7 +62,8 @@ void deadlock_matrix() {
 
 void hb_wormhole_curve() {
   std::cout << "\nEXT-WORMHOLE: HB(2,4) wormhole latency vs load "
-               "(6 VCs, segment-dateline)\n  load    mean-lat  p99\n";
+               "(6 VCs, segment-dateline)\n"
+               "  load    mean-lat  p50  p99  max\n";
   auto topo = hbnet::make_hyper_butterfly_sim(2, 4);
   for (double load : {0.01, 0.03, 0.06}) {
     hbnet::WormholeConfig cfg;
@@ -70,9 +74,44 @@ void hb_wormhole_curve() {
     cfg.drain_cycles = 120000;
     hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, 4);
     std::cout << "  " << load << "    " << s.packets.mean_latency() << "     "
-              << s.packets.latency_percentile(0.99)
+              << s.packets.latency_percentile(0.5) << "   "
+              << s.packets.latency_percentile(0.99) << "   "
+              << s.packets.max_latency()
               << (s.deadlocked ? "  (DEADLOCK)" : "") << "\n";
   }
+}
+
+void hb_link_utilization() {
+  std::cout << "\nEXT-WORMHOLE: HB(2,4) per-link utilization at load 0.06 "
+               "(obs::Sink telemetry)\n";
+  auto topo = hbnet::make_hyper_butterfly_sim(2, 4);
+  hbnet::WormholeConfig cfg;
+  cfg.vcs = 6;
+  cfg.injection_rate = 0.06;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 400;
+  cfg.drain_cycles = 120000;
+  hbnet::obs::Sink sink;
+  hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, 4, &sink);
+  std::vector<hbnet::obs::LinkStats> links = sink.links();
+  std::sort(links.begin(), links.end(),
+            [](const hbnet::obs::LinkStats& a, const hbnet::obs::LinkStats& b) {
+              return a.forwarded > b.forwarded;
+            });
+  double util_sum = 0;
+  for (const auto& l : links) util_sum += l.utilization(sink.run_cycles());
+  std::cout << "  " << links.size() << " active links, mean utilization "
+            << (links.empty() ? 0.0 : util_sum / links.size())
+            << ", hottest links:\n";
+  for (std::size_t i = 0; i < links.size() && i < 3; ++i) {
+    std::cout << "    " << links[i].src << " -> " << links[i].dst
+              << ": util " << links[i].utilization(sink.run_cycles())
+              << ", " << links[i].occupancy() << " buffered flit-cycles\n";
+  }
+  std::cout << "  (latency histogram p50/p99/max: "
+            << s.packets.latency_percentile(0.5) << "/"
+            << s.packets.latency_percentile(0.99) << "/"
+            << s.packets.max_latency() << ")\n";
 }
 
 void BM_Wormhole(benchmark::State& state) {
@@ -94,6 +133,7 @@ BENCHMARK(BM_Wormhole)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   deadlock_matrix();
   hb_wormhole_curve();
+  hb_link_utilization();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
 namespace hbnet {
 
 unsigned broadcast_lower_bound(const HyperButterfly& hb) {
@@ -52,7 +55,8 @@ unsigned greedy_broadcast_rounds(const Graph& g, NodeId source) {
   return rounds;
 }
 
-BroadcastResult hb_greedy_broadcast(const HyperButterfly& hb, HbNode source) {
+BroadcastResult hb_greedy_broadcast(const HyperButterfly& hb, HbNode source,
+                                    obs::Sink* sink) {
   if (hb.num_nodes() > (HbIndex{1} << 31)) {
     throw std::length_error("hb_greedy_broadcast: instance too large");
   }
@@ -61,11 +65,17 @@ BroadcastResult hb_greedy_broadcast(const HyperButterfly& hb, HbNode source) {
   r.rounds = greedy_broadcast_rounds(g, static_cast<NodeId>(hb.index_of(source)));
   r.informed = g.num_nodes();
   r.complete = true;
+  if (sink != nullptr) {
+    sink->metrics().counter("broadcast.greedy.rounds").inc(r.rounds);
+    sink->metrics().counter("broadcast.greedy.informed").inc(r.informed);
+    HBNET_TRACE_COMPLETE(sink, "broadcast", "greedy-broadcast", 0, 0, 0,
+                         r.rounds, {{"informed", r.informed}});
+  }
   return r;
 }
 
 BroadcastResult hb_structured_broadcast(const HyperButterfly& hb,
-                                        HbNode source) {
+                                        HbNode source, obs::Sink* sink) {
   // Phase A: binomial broadcast across the m cube dimensions. Round i
   // doubles the informed set along bit i; after m rounds every cube layer
   // holds exactly the source's butterfly vertex. Phase B: all 2^m layers
@@ -77,6 +87,15 @@ BroadcastResult hb_structured_broadcast(const HyperButterfly& hb,
   r.rounds = m + layer_rounds;
   r.informed = hb.num_nodes();
   r.complete = true;
+  if (sink != nullptr) {
+    sink->metrics().counter("broadcast.structured.cube_rounds").inc(m);
+    sink->metrics().counter("broadcast.structured.layer_rounds")
+        .inc(layer_rounds);
+    HBNET_TRACE_COMPLETE(sink, "broadcast", "cube-phase", 0, 0, 0, m,
+                         {{"dimensions", m}});
+    HBNET_TRACE_COMPLETE(sink, "broadcast", "butterfly-phase", 0, 0, m,
+                         layer_rounds, {{"layers", std::uint64_t{1} << m}});
+  }
   return r;
 }
 

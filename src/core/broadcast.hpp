@@ -20,6 +20,10 @@
 
 namespace hbnet {
 
+namespace obs {
+class Sink;
+}
+
 /// Outcome of a broadcast schedule simulation.
 struct BroadcastResult {
   unsigned rounds = 0;
@@ -30,13 +34,18 @@ struct BroadcastResult {
 /// Single-port lower bound: every round at most doubles the informed set.
 [[nodiscard]] unsigned broadcast_lower_bound(const HyperButterfly& hb);
 
-/// Greedy global single-port schedule from `source`.
+/// Greedy global single-port schedule from `source`. A non-null `sink`
+/// records a phase span (ts in rounds) plus round/informed counters.
 [[nodiscard]] BroadcastResult hb_greedy_broadcast(const HyperButterfly& hb,
-                                                  HbNode source);
+                                                  HbNode source,
+                                                  obs::Sink* sink = nullptr);
 
 /// Binomial-across-cube then per-layer butterfly schedule from `source`.
+/// A non-null `sink` records the cube and butterfly phases as trace spans
+/// (ts in rounds) plus round counters per phase.
 [[nodiscard]] BroadcastResult hb_structured_broadcast(const HyperButterfly& hb,
-                                                      HbNode source);
+                                                      HbNode source,
+                                                      obs::Sink* sink = nullptr);
 
 /// Greedy single-port broadcast rounds for a materialized graph (helper for
 /// the per-layer butterfly schedule and for baseline comparisons).

@@ -2,15 +2,45 @@
 
 #include <algorithm>
 
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
 namespace hbnet {
+
+namespace {
+
+/// Records the outcome of one routing attempt into the sink.
+void report(obs::Sink* sink, const HyperButterfly& hb, HbNode u, HbNode v,
+            const FaultRouteResult& r) {
+  if (sink == nullptr) return;
+  obs::MetricsRegistry& reg = sink->metrics();
+  reg.counter("fault_route.attempts").inc();
+  reg.counter("fault_route.paths_tried").inc(r.paths_tried);
+  if (r.used_fallback) reg.counter("fault_route.bfs_fallbacks").inc();
+  if (!r.ok()) reg.counter("fault_route.failures").inc();
+  HBNET_TRACE_INSTANT(
+      sink, "routing", "route_around_faults", 0,
+      static_cast<std::uint32_t>(hb.index_of(u)), 0,
+      {{"src", hb.index_of(u)},
+       {"dst", hb.index_of(v)},
+       {"paths_tried", r.paths_tried},
+       {"fallback", r.used_fallback ? 1u : 0u},
+       {"hops", r.path.empty() ? 0 : r.path.size() - 1}});
+}
+
+}  // namespace
 
 FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
                                      HbNode v, const HbFaultSet& faults,
-                                     bool bfs_fallback) {
+                                     bool bfs_fallback, obs::Sink* sink) {
   FaultRouteResult r;
-  if (faults.contains(hb, u) || faults.contains(hb, v)) return r;
+  if (faults.contains(hb, u) || faults.contains(hb, v)) {
+    report(sink, hb, u, v, r);
+    return r;
+  }
   if (u == v) {
     r.path = {u};
+    report(sink, hb, u, v, r);
     return r;
   }
   std::vector<std::vector<HbNode>> family = hb.disjoint_paths(u, v);
@@ -28,6 +58,7 @@ FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
     }
     if (clean) {
       r.path = path;
+      report(sink, hb, u, v, r);
       return r;
     }
   }
@@ -37,6 +68,7 @@ FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
       r.used_fallback = true;
     }
   }
+  report(sink, hb, u, v, r);
   return r;
 }
 

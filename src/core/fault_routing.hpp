@@ -18,6 +18,10 @@
 
 namespace hbnet {
 
+namespace obs {
+class Sink;
+}
+
 /// Statistics of a fault-routing attempt.
 struct FaultRouteResult {
   std::vector<HbNode> path;      // empty when no path was found
@@ -30,9 +34,12 @@ struct FaultRouteResult {
 /// picks the shortest fault-free family member. If every family member is
 /// blocked (only possible when |faults| > m+3 or endpoints are faulty) and
 /// `bfs_fallback` is set, falls back to BFS on the implicit fault-free graph.
+/// A non-null `sink` accumulates attempt/paths-tried/fallback counters and
+/// emits one instant trace event per routing decision.
 [[nodiscard]] FaultRouteResult route_around_faults(const HyperButterfly& hb,
                                                    HbNode u, HbNode v,
                                                    const HbFaultSet& faults,
-                                                   bool bfs_fallback = true);
+                                                   bool bfs_fallback = true,
+                                                   obs::Sink* sink = nullptr);
 
 }  // namespace hbnet

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
+
 namespace hbnet {
 
 RunResult run_protocol(const Graph& g, const Protocol& protocol,
-                       std::uint64_t max_rounds) {
+                       std::uint64_t max_rounds, obs::Sink* sink) {
   if (!protocol.on_round) {
     throw std::invalid_argument("run_protocol: on_round is required");
   }
   const NodeId n = g.num_nodes();
+  obs::TimeSeries* msg_ts =
+      sink != nullptr ? &sink->time_series("distsim.messages", 1) : nullptr;
   std::vector<ProcessContext> ctx;
   ctx.reserve(n);
   for (NodeId v = 0; v < n; ++v) ctx.emplace_back(v, g.degree(v));
@@ -32,14 +37,21 @@ RunResult run_protocol(const Graph& g, const Protocol& protocol,
   for (std::uint64_t round = 0; round < max_rounds; ++round) {
     // Move outboxes into next-round inboxes.
     bool any_message = false;
+    std::uint64_t round_messages = 0;
     for (NodeId v = 0; v < n; ++v) {
       for (Delivery& d : ctx[v].outbox()) {
         NodeId to = g.neighbors(v)[d.link];
         next_inbox[to].push_back({link_of(to, v), std::move(d.payload)});
         ++result.messages;
+        ++round_messages;
         any_message = true;
       }
       ctx[v].outbox().clear();
+    }
+    // Bump before the halt/quiescence checks so the final round's sends
+    // (already counted in result.messages) land in the series too.
+    if (msg_ts != nullptr && round_messages > 0) {
+      msg_ts->bump(round, round_messages);
     }
     bool all_halted = true;
     for (NodeId v = 0; v < n; ++v) all_halted &= ctx[v].halted();
@@ -49,11 +61,18 @@ RunResult run_protocol(const Graph& g, const Protocol& protocol,
     }
     if (!any_message && round > 0) break;  // quiesced without halting
     ++result.rounds;
+    HBNET_TRACE_BEGIN(sink, "distsim", "round", 0, 0, round,
+                      {{"messages", round_messages}});
     inbox.swap(next_inbox);
     for (NodeId v = 0; v < n; ++v) {
       if (!ctx[v].halted()) protocol.on_round(ctx[v], inbox[v]);
       inbox[v].clear();
     }
+    HBNET_TRACE_END(sink, "distsim", "round", 0, 0, round + 1);
+  }
+  if (sink != nullptr) {
+    sink->metrics().counter("distsim.rounds").inc(result.rounds);
+    sink->metrics().counter("distsim.messages").inc(result.messages);
   }
   return result;
 }

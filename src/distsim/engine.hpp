@@ -17,6 +17,10 @@
 
 namespace hbnet {
 
+namespace obs {
+class Sink;
+}
+
 /// A message payload: small vector of integers (algorithms define their own
 /// conventions for the fields).
 using Payload = std::vector<std::int64_t>;
@@ -77,7 +81,12 @@ struct RunResult {
 /// Runs `protocol` on every vertex of `g` until all processes halt, the
 /// network quiesces (no messages in flight and nothing new sent), or
 /// `max_rounds` elapses.
+///
+/// A non-null `sink` records round/message counters, a messages-per-round
+/// time series, and -- when tracing is enabled -- one trace span per round
+/// (ts = round index) annotated with the messages delivered in it.
 [[nodiscard]] RunResult run_protocol(const Graph& g, const Protocol& protocol,
-                                     std::uint64_t max_rounds = 1'000'000);
+                                     std::uint64_t max_rounds = 1'000'000,
+                                     obs::Sink* sink = nullptr);
 
 }  // namespace hbnet

@@ -1,0 +1,83 @@
+#include "obs/sink.hpp"
+
+#include <algorithm>
+
+namespace hbnet::obs {
+
+TimeSeries& Sink::time_series(const std::string& name,
+                              std::uint64_t bucket_cycles) {
+  for (auto& [n, s] : series_) {
+    if (n == name) return s;
+  }
+  series_.emplace_back(name, TimeSeries{bucket_cycles == 0 ? 1 : bucket_cycles,
+                                        {}});
+  return series_.back().second;
+}
+
+const TimeSeries* Sink::find_time_series(const std::string& name) const {
+  for (const auto& [n, s] : series_) {
+    if (n == name) return &s;
+  }
+  return nullptr;
+}
+
+void Sink::write_metrics_json(std::ostream& os) const {
+  os << "{\"metrics\":";
+  metrics_.write_json(os);
+  os << ",\"run_cycles\":" << run_cycles_;
+  os << ",\"links\":[";
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkStats& l = links_[i];
+    if (i) os << ',';
+    os << "{\"src\":" << l.src << ",\"dst\":" << l.dst
+       << ",\"forwarded\":" << l.forwarded
+       << ",\"occupancy\":" << l.occupancy()
+       << ",\"utilization\":" << l.utilization(run_cycles_);
+    if (!l.vc_occupancy.empty()) {
+      os << ",\"vc_occupancy\":[";
+      for (std::size_t q = 0; q < l.vc_occupancy.size(); ++q) {
+        if (q) os << ',';
+        os << l.vc_occupancy[q];
+      }
+      os << ']';
+    }
+    os << '}';
+  }
+  os << "],\"nodes\":[";
+  for (std::size_t v = 0; v < node_occupancy_.size(); ++v) {
+    if (v) os << ',';
+    os << "{\"id\":" << v << ",\"queue_occupancy\":" << node_occupancy_[v]
+       << '}';
+  }
+  os << "],\"timeseries\":{";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) os << ',';
+    write_json_string(os, series_[i].first);
+    os << ":{\"bucket_cycles\":" << series_[i].second.bucket_cycles
+       << ",\"values\":[";
+    for (std::size_t b = 0; b < series_[i].second.values.size(); ++b) {
+      if (b) os << ',';
+      os << series_[i].second.values[b];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+void Sink::write_links_csv(std::ostream& os) const {
+  std::size_t vcs = 0;
+  for (const LinkStats& l : links_) vcs = std::max(vcs, l.vc_occupancy.size());
+  os << "src,dst,forwarded,occupancy,utilization";
+  for (std::size_t q = 0; q < vcs; ++q) os << ",vc" << q << "_occupancy";
+  os << '\n';
+  for (const LinkStats& l : links_) {
+    os << l.src << ',' << l.dst << ',' << l.forwarded << ',' << l.occupancy()
+       << ',' << l.utilization(run_cycles_);
+    for (std::size_t q = 0; q < vcs; ++q) {
+      os << ',' << (q < l.vc_occupancy.size() ? l.vc_occupancy[q] : 0);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace hbnet::obs

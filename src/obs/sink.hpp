@@ -1,0 +1,120 @@
+// hbnet::obs -- the Sink handed to simulators and algorithms.
+//
+// A Sink bundles everything a run can report:
+//   * a MetricsRegistry (counters/gauges/histograms),
+//   * an optional TraceRecorder (off by default; enable_trace() switches it
+//     on -- the HBNET_TRACE_* macros test exactly this),
+//   * a per-link utilization table (directed channel src->dst with
+//     forwarded units and per-VC buffered flit-cycles),
+//   * per-node occupancy accumulators (store-and-forward queue integrals),
+//   * named cycle-bucketed time series (injections/deliveries per bucket).
+//
+// Simulators take `obs::Sink* sink = nullptr`; a null sink means zero
+// instrumentation work beyond a pointer test per guarded site. The heavier
+// aggregations (link sweeps) are only performed when a sink is attached --
+// observability is pay-for-what-you-watch.
+//
+// Export:
+//   write_metrics_json  -- one JSON document with the registry plus links,
+//                          nodes, and time series (the --metrics-out file),
+//   write_links_csv     -- per-link utilization as CSV for heatmap tooling,
+//   trace()->write_json -- the Chrome trace (the --trace-out file).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hbnet::obs {
+
+/// One directed channel's utilization record.
+struct LinkStats {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t forwarded = 0;  // flits (wormhole) or packets (SF) moved
+  std::vector<std::uint64_t> vc_occupancy;  // buffered flit-cycles per VC
+
+  [[nodiscard]] std::uint64_t occupancy() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t o : vc_occupancy) total += o;
+    return total;
+  }
+  /// Fraction of cycles the channel moved a unit (<= 1 move/cycle).
+  [[nodiscard]] double utilization(std::uint64_t cycles) const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(forwarded) /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Cycle-bucketed event-count series (e.g. deliveries per 32 cycles).
+struct TimeSeries {
+  std::uint64_t bucket_cycles = 1;
+  std::vector<std::uint64_t> values;
+
+  void bump(std::uint64_t cycle, std::uint64_t n = 1) {
+    const std::size_t b = static_cast<std::size_t>(cycle / bucket_cycles);
+    if (b >= values.size()) values.resize(b + 1, 0);
+    values[b] += n;
+  }
+};
+
+class Sink {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Switches trace recording on (idempotent). Until called, trace()
+  /// returns null and every HBNET_TRACE_* site is a single pointer test.
+  TraceRecorder& enable_trace(std::size_t capacity =
+                                  TraceRecorder::kDefaultCapacity) {
+    if (!trace_) trace_ = std::make_unique<TraceRecorder>(capacity);
+    return *trace_;
+  }
+  [[nodiscard]] TraceRecorder* trace() { return trace_.get(); }
+  [[nodiscard]] const TraceRecorder* trace() const { return trace_.get(); }
+
+  // -- run-shaped aggregates, filled by the simulators at end of run --
+
+  [[nodiscard]] std::vector<LinkStats>& links() { return links_; }
+  [[nodiscard]] const std::vector<LinkStats>& links() const { return links_; }
+
+  /// Per-node accumulators (queue-length integrals in the SF simulator).
+  [[nodiscard]] std::vector<std::uint64_t>& node_occupancy() {
+    return node_occupancy_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& node_occupancy() const {
+    return node_occupancy_;
+  }
+
+  /// Named time series; created on first use with `bucket_cycles` (the
+  /// bucket width of an existing series is kept). The returned reference
+  /// is stable for the sink's lifetime (node-stable storage).
+  TimeSeries& time_series(const std::string& name,
+                          std::uint64_t bucket_cycles = 1);
+  [[nodiscard]] const TimeSeries* find_time_series(
+      const std::string& name) const;
+
+  /// Cycles the reporting run simulated (denominator for utilization).
+  void set_run_cycles(std::uint64_t cycles) { run_cycles_ = cycles; }
+  [[nodiscard]] std::uint64_t run_cycles() const { return run_cycles_; }
+
+  void write_metrics_json(std::ostream& os) const;
+  void write_links_csv(std::ostream& os) const;
+
+ private:
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::vector<LinkStats> links_;
+  std::vector<std::uint64_t> node_occupancy_;
+  std::deque<std::pair<std::string, TimeSeries>> series_;
+  std::uint64_t run_cycles_ = 0;
+};
+
+}  // namespace hbnet::obs

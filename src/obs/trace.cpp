@@ -1,0 +1,33 @@
+#include "obs/trace.hpp"
+
+namespace hbnet::obs {
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":";
+    write_json_string(os, ev.name);
+    os << ",\"cat\":";
+    write_json_string(os, ev.cat);
+    os << ",\"ph\":\"" << ev.ph << "\",\"ts\":" << ev.ts;
+    if (ev.ph == 'X') os << ",\"dur\":" << ev.dur;
+    if (ev.ph == 'i') os << ",\"s\":\"t\"";  // instant scope: thread
+    os << ",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid;
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) os << ',';
+        write_json_string(os, ev.args[i].first);
+        os << ':' << ev.args[i].second;
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace hbnet::obs

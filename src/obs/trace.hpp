@@ -1,0 +1,145 @@
+// hbnet::obs -- Chrome trace_event recorder.
+//
+// Records packet/flit lifecycle spans, distsim round spans, and counter
+// samples in the Chrome trace-event JSON format ("JSON Array Format" with a
+// {"traceEvents":[...]} wrapper), loadable in chrome://tracing and Perfetto.
+// Timestamps are simulated cycles/rounds reported as microseconds, so one
+// trace microsecond == one simulator cycle.
+//
+// Event kinds used:
+//   'X' complete  -- a span known in full at emit time (packet lifetime),
+//   'B'/'E' pair  -- open/close span (distsim rounds, broadcast phases),
+//   'i' instant   -- a point event (fault-route decision, deadlock abort),
+//   'C' counter   -- a sampled value (in-flight flits per cycle).
+//
+// Hot-path emission goes through the HBNET_TRACE_* macros below, which
+// compile to nothing when the library is built with -DHBNET_TRACE=0; when
+// enabled they cost one pointer test unless a Sink with tracing switched on
+// is attached. The recorder is bounded: past `capacity()` events it drops
+// and counts, so a runaway simulation cannot exhaust memory.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"  // write_json_string
+
+// Compile-time master switch for trace emission in instrumented hot paths.
+// Build with -DHBNET_TRACE=0 (CMake option HBNET_TRACE=OFF) to compile all
+// HBNET_TRACE_* macro sites out entirely.
+#ifndef HBNET_TRACE
+#define HBNET_TRACE 1
+#endif
+
+namespace hbnet::obs {
+
+/// Numeric event arguments ({"pkt":12,"src":3,...} -- everything the
+/// simulators attach is integral).
+using TraceArgs = std::vector<std::pair<std::string, std::uint64_t>>;
+
+struct TraceEvent {
+  char ph;            // 'X', 'B', 'E', 'i', 'C'
+  std::uint32_t pid;  // process lane (we use 0 = simulator)
+  std::uint32_t tid;  // thread lane (node id / lane id)
+  std::uint64_t ts;   // cycle (reported as us)
+  std::uint64_t dur;  // 'X' only
+  std::string cat;
+  std::string name;
+  TraceArgs args;
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  void complete(std::string cat, std::string name, std::uint32_t pid,
+                std::uint32_t tid, std::uint64_t ts, std::uint64_t dur,
+                TraceArgs args = {}) {
+    push({'X', pid, tid, ts, dur, std::move(cat), std::move(name),
+          std::move(args)});
+  }
+  void begin(std::string cat, std::string name, std::uint32_t pid,
+             std::uint32_t tid, std::uint64_t ts, TraceArgs args = {}) {
+    push({'B', pid, tid, ts, 0, std::move(cat), std::move(name),
+          std::move(args)});
+  }
+  void end(std::string cat, std::string name, std::uint32_t pid,
+           std::uint32_t tid, std::uint64_t ts) {
+    push({'E', pid, tid, ts, 0, std::move(cat), std::move(name), {}});
+  }
+  void instant(std::string cat, std::string name, std::uint32_t pid,
+               std::uint32_t tid, std::uint64_t ts, TraceArgs args = {}) {
+    push({'i', pid, tid, ts, 0, std::move(cat), std::move(name),
+          std::move(args)});
+  }
+  void counter(std::string name, std::uint32_t pid, std::uint64_t ts,
+               std::uint64_t value) {
+    push({'C', pid, 0, ts, 0, "counter", std::move(name),
+          {{"value", value}}});
+  }
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Chrome trace JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  void push(TraceEvent ev) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(ev));
+  }
+
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hbnet::obs
+
+// Emission macros: `sink` is an `obs::Sink*` (possibly null). All expand to
+// nothing under -DHBNET_TRACE=0; otherwise they test the sink pointer and
+// its trace switch before touching the recorder.
+#if HBNET_TRACE
+#define HBNET_TRACE_ACTIVE(sink) ((sink) != nullptr && (sink)->trace() != nullptr)
+#define HBNET_TRACE_COMPLETE(sink, ...) \
+  do {                                  \
+    if (HBNET_TRACE_ACTIVE(sink)) (sink)->trace()->complete(__VA_ARGS__); \
+  } while (0)
+#define HBNET_TRACE_BEGIN(sink, ...) \
+  do {                               \
+    if (HBNET_TRACE_ACTIVE(sink)) (sink)->trace()->begin(__VA_ARGS__); \
+  } while (0)
+#define HBNET_TRACE_END(sink, ...) \
+  do {                             \
+    if (HBNET_TRACE_ACTIVE(sink)) (sink)->trace()->end(__VA_ARGS__); \
+  } while (0)
+#define HBNET_TRACE_INSTANT(sink, ...) \
+  do {                                 \
+    if (HBNET_TRACE_ACTIVE(sink)) (sink)->trace()->instant(__VA_ARGS__); \
+  } while (0)
+#define HBNET_TRACE_COUNTER(sink, ...) \
+  do {                                 \
+    if (HBNET_TRACE_ACTIVE(sink)) (sink)->trace()->counter(__VA_ARGS__); \
+  } while (0)
+#else
+#define HBNET_TRACE_ACTIVE(sink) false
+#define HBNET_TRACE_COMPLETE(sink, ...) do {} while (0)
+#define HBNET_TRACE_BEGIN(sink, ...) do {} while (0)
+#define HBNET_TRACE_END(sink, ...) do {} while (0)
+#define HBNET_TRACE_INSTANT(sink, ...) do {} while (0)
+#define HBNET_TRACE_COUNTER(sink, ...) do {} while (0)
+#endif

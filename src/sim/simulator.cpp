@@ -1,8 +1,12 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <random>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace hbnet {
 namespace {
@@ -14,10 +18,77 @@ struct Packet {
   bool measured = false;  // injected inside the measurement window
 };
 
+/// Store-and-forward telemetry, active only when a sink is attached. Shared
+/// by the static-fault and fault-event runs so both report identically.
+struct SfTelemetry {
+  obs::Sink* sink = nullptr;
+  std::unordered_map<std::uint64_t, std::uint64_t> link_moves;
+  std::vector<std::uint64_t> node_occ;
+  obs::TimeSeries* inject_ts = nullptr;
+  obs::TimeSeries* deliver_ts = nullptr;
+
+  SfTelemetry(obs::Sink* s, std::uint32_t n, const SimConfig& config)
+      : sink(s) {
+    if (sink == nullptr) return;
+    node_occ.assign(n, 0);
+    const std::uint64_t bucket = std::max<std::uint64_t>(
+        1, (config.warmup_cycles + config.measure_cycles) / 64);
+    inject_ts = &sink->time_series("sim.injected", bucket);
+    deliver_ts = &sink->time_series("sim.delivered", bucket);
+  }
+
+  void on_inject(std::uint64_t cycle) {
+    if (inject_ts != nullptr) inject_ts->bump(cycle);
+  }
+  void on_move(std::uint32_t u, std::uint32_t v) {
+    if (sink != nullptr) {
+      ++link_moves[(static_cast<std::uint64_t>(u) << 32) | v];
+    }
+  }
+  void on_deliver(std::uint64_t cycle, const Packet& pkt) {
+    if (deliver_ts != nullptr) deliver_ts->bump(cycle);
+    HBNET_TRACE_COMPLETE(sink, "packet", "pkt", 0, pkt.path.front(),
+                         pkt.injected_at, cycle + 1 - pkt.injected_at,
+                         {{"src", pkt.path.front()},
+                          {"dst", pkt.path.back()},
+                          {"hops", pkt.path.size() - 1}});
+  }
+  void sweep(const std::vector<std::deque<Packet>>& queue,
+             std::uint64_t cycle, std::uint64_t in_flight) {
+    if (sink == nullptr) return;
+    for (std::size_t v = 0; v < queue.size(); ++v) {
+      node_occ[v] += queue[v].size();
+    }
+    HBNET_TRACE_COUNTER(sink, "in_flight_packets", 0, cycle, in_flight);
+  }
+  void finish(std::uint64_t cycles, const SimStats& stats) {
+    if (sink == nullptr) return;
+    sink->set_run_cycles(cycles);
+    std::uint64_t moves_total = 0;
+    sink->links().reserve(sink->links().size() + link_moves.size());
+    for (const auto& [key, count] : link_moves) {
+      obs::LinkStats link;
+      link.src = static_cast<std::uint32_t>(key >> 32);
+      link.dst = static_cast<std::uint32_t>(key & 0xffffffffu);
+      link.forwarded = count;
+      moves_total += count;
+      sink->links().push_back(std::move(link));
+    }
+    sink->node_occupancy() = node_occ;
+    obs::MetricsRegistry& reg = sink->metrics();
+    reg.counter("sim.injected").inc(stats.injected());
+    reg.counter("sim.delivered").inc(stats.delivered());
+    reg.counter("sim.dropped").inc(stats.dropped());
+    reg.counter("sim.packet_moves").inc(moves_total);
+    reg.counter("sim.cycles").inc(cycles);
+    reg.histogram("sim.packet_latency").merge(stats.latency_histogram());
+  }
+};
+
 }  // namespace
 
 SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
-                        const std::vector<char>& faulty) {
+                        const std::vector<char>& faulty, obs::Sink* sink) {
   const std::uint32_t n = topo.num_nodes();
   if (!faulty.empty() && faulty.size() != n) {
     throw std::invalid_argument("run_simulation: fault mask size mismatch");
@@ -33,8 +104,10 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
+  SfTelemetry telem(sink, n, config);
 
-  for (std::uint64_t cycle = 0; cycle < horizon; ++cycle) {
+  std::uint64_t cycle = 0;
+  for (; cycle < horizon; ++cycle) {
     const bool injecting =
         cycle < config.warmup_cycles + config.measure_cycles;
     const bool measuring =
@@ -72,6 +145,7 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
         pkt.injected_at = cycle;
         pkt.measured = measuring;
         if (measuring) stats.record_injection();
+        telem.on_inject(cycle);
         if (pkt.path.size() <= 1) {
           if (pkt.measured) stats.record_delivery(0, 0);
           continue;
@@ -91,12 +165,14 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
         queue[v].pop_front();
         ++pkt.hop;
         std::uint32_t next = pkt.path[pkt.hop];
+        telem.on_move(v, next);
         if (pkt.hop + 1 == pkt.path.size()) {
           // Delivered at `next`.
           if (pkt.measured) {
             stats.record_delivery(cycle + 1 - pkt.injected_at,
                                   pkt.path.size() - 1);
           }
+          telem.on_deliver(cycle, pkt);
           --in_flight;
         } else {
           moving.emplace_back(next, std::move(pkt));
@@ -106,14 +182,17 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
     for (auto& [node, pkt] : moving) {
       queue[node].push_back(std::move(pkt));
     }
+    telem.sweep(queue, cycle, in_flight);
     if (!injecting && in_flight == 0) break;
   }
+  telem.finish(std::min(cycle + 1, horizon), stats);
   return stats;
 }
 
 SimStats run_simulation_with_fault_events(const SimTopology& topo,
                                           const SimConfig& config,
-                                          std::vector<FaultEvent> events) {
+                                          std::vector<FaultEvent> events,
+                                          obs::Sink* sink) {
   const std::uint32_t n = topo.num_nodes();
   std::sort(events.begin(), events.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
@@ -132,13 +211,18 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
+  SfTelemetry telem(sink, n, config);
 
-  for (std::uint64_t cycle = 0; cycle < horizon; ++cycle) {
+  std::uint64_t cycle = 0;
+  for (; cycle < horizon; ++cycle) {
     // Fault arrivals: kill nodes, losing their queued packets.
     while (next_event < events.size() && events[next_event].cycle <= cycle) {
       std::uint32_t dead = events[next_event].node;
       if (!faulty[dead]) {
         faulty[dead] = 1;
+        HBNET_TRACE_INSTANT(sink, "fault", "node_death", 0, dead, cycle,
+                            {{"node", dead},
+                             {"lost_packets", queue[dead].size()}});
         for (const Packet& pkt : queue[dead]) {
           if (pkt.measured) stats.record_drop();
           --in_flight;
@@ -168,6 +252,7 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
         pkt.injected_at = cycle;
         pkt.measured = measuring;
         if (measuring) stats.record_injection();
+        telem.on_inject(cycle);
         if (pkt.path.size() <= 1) {
           if (pkt.measured) stats.record_delivery(0, 0);
           continue;
@@ -199,10 +284,12 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
           next = pkt.path[1];
         }
         ++pkt.hop;
+        telem.on_move(v, next);
         if (pkt.hop + 1 == pkt.path.size()) {
           if (pkt.measured) {
             stats.record_delivery(cycle + 1 - pkt.injected_at, pkt.hop);
           }
+          telem.on_deliver(cycle, pkt);
           --in_flight;
         } else {
           moving.emplace_back(next, std::move(pkt));
@@ -210,8 +297,10 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
       }
     }
     for (auto& [node, pkt] : moving) queue[node].push_back(std::move(pkt));
+    telem.sweep(queue, cycle, in_flight);
     if (!injecting && in_flight == 0 && next_event >= events.size()) break;
   }
+  telem.finish(std::min(cycle + 1, horizon), stats);
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "sim/stats.hpp"
 #include "sim/topology.hpp"
 #include "sim/traffic.hpp"
@@ -42,9 +43,15 @@ struct SimConfig {
 
 /// Runs the simulation on `topo` with optional node faults.
 /// `faulty` may be empty (no faults) or sized num_nodes().
+///
+/// A non-null `sink` collects per-link traversal counts, per-node queue
+/// occupancy integrals, injection/delivery time series, counters, the
+/// latency histogram, and (when tracing is enabled on the sink) packet
+/// lifetime spans. A null sink adds no per-packet work.
 [[nodiscard]] SimStats run_simulation(const SimTopology& topo,
                                       const SimConfig& config,
-                                      const std::vector<char>& faulty = {});
+                                      const std::vector<char>& faulty = {},
+                                      obs::Sink* sink = nullptr);
 
 /// A node failure occurring *during* the run.
 struct FaultEvent {
@@ -59,6 +66,6 @@ struct FaultEvent {
 /// Theorem-5 machinery behaves online rather than only at injection time.
 [[nodiscard]] SimStats run_simulation_with_fault_events(
     const SimTopology& topo, const SimConfig& config,
-    std::vector<FaultEvent> events);
+    std::vector<FaultEvent> events, obs::Sink* sink = nullptr);
 
 }  // namespace hbnet

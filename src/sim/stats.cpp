@@ -1,34 +1,13 @@
 #include "sim/stats.hpp"
 
-#include <algorithm>
 #include <sstream>
 
 namespace hbnet {
 
-double SimStats::mean_latency() const {
-  if (latencies_.empty()) return 0.0;
-  long double sum = 0;
-  for (std::uint64_t l : latencies_) sum += l;
-  return static_cast<double>(sum / latencies_.size());
-}
-
 double SimStats::mean_hops() const {
-  return latencies_.empty()
-             ? 0.0
-             : static_cast<double>(total_hops_) /
-                   static_cast<double>(latencies_.size());
-}
-
-std::uint64_t SimStats::latency_percentile(double q) const {
-  if (latencies_.empty()) return 0;
-  std::sort(latencies_.begin(), latencies_.end());
-  double pos = q * static_cast<double>(latencies_.size() - 1);
-  return latencies_[static_cast<std::size_t>(pos)];
-}
-
-std::uint64_t SimStats::max_latency() const {
-  if (latencies_.empty()) return 0;
-  return *std::max_element(latencies_.begin(), latencies_.end());
+  return delivered() == 0 ? 0.0
+                          : static_cast<double>(total_hops_) /
+                                static_cast<double>(delivered());
 }
 
 std::string SimStats::summary() const {

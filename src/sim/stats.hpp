@@ -1,9 +1,16 @@
 // Latency / throughput statistics for the packet simulator.
+//
+// Backed by an obs::Histogram: memory is fixed regardless of how many
+// packets a run delivers, and percentile queries are O(buckets) instead of
+// the former sort-the-sample-vector O(n log n). Values in the histogram's
+// linear range (< 256 cycles) keep exact percentiles; above that the error
+// is bounded by the histogram's sub-bucket resolution (< 1%).
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace hbnet {
 
@@ -11,21 +18,28 @@ namespace hbnet {
 class SimStats {
  public:
   void record_delivery(std::uint64_t latency, std::uint64_t hops) {
-    latencies_.push_back(latency);
+    latency_.record(latency);
     total_hops_ += hops;
   }
   void record_injection() { ++injected_; }
   void record_drop() { ++dropped_; }
 
-  [[nodiscard]] std::uint64_t delivered() const { return latencies_.size(); }
+  [[nodiscard]] std::uint64_t delivered() const { return latency_.count(); }
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
 
-  [[nodiscard]] double mean_latency() const;
+  [[nodiscard]] double mean_latency() const { return latency_.mean(); }
   [[nodiscard]] double mean_hops() const;
   /// q in [0,1]; e.g. 0.99 for the tail.
-  [[nodiscard]] std::uint64_t latency_percentile(double q) const;
-  [[nodiscard]] std::uint64_t max_latency() const;
+  [[nodiscard]] std::uint64_t latency_percentile(double q) const {
+    return latency_.percentile(q);
+  }
+  [[nodiscard]] std::uint64_t max_latency() const { return latency_.max(); }
+
+  /// The full latency distribution (for export / merging into a registry).
+  [[nodiscard]] const obs::Histogram& latency_histogram() const {
+    return latency_;
+  }
 
   /// delivered / (cycles * nodes): accepted throughput in packets/node/cycle.
   [[nodiscard]] double throughput(std::uint64_t cycles,
@@ -39,7 +53,7 @@ class SimStats {
   [[nodiscard]] std::string summary() const;
 
  private:
-  mutable std::vector<std::uint64_t> latencies_;
+  obs::Histogram latency_;
   std::uint64_t total_hops_ = 0;
   std::uint64_t injected_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,9 +1,12 @@
 #include "sim/wormhole.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace hbnet {
 namespace {
@@ -78,7 +81,8 @@ std::vector<std::uint8_t> hop_classes(const std::vector<std::uint32_t>& path,
 }  // namespace
 
 WormholeStats run_wormhole(const SimTopology& topo,
-                           const WormholeConfig& config, unsigned ring_arity) {
+                           const WormholeConfig& config, unsigned ring_arity,
+                           obs::Sink* sink) {
   if (config.vcs < 1 || config.flits_per_packet < 1 ||
       config.buffer_depth < 1) {
     throw std::invalid_argument("run_wormhole: degenerate config");
@@ -100,6 +104,12 @@ WormholeStats run_wormhole(const SimTopology& topo,
 
   std::unordered_map<std::uint64_t, std::uint32_t> chan_id;
   std::vector<ChanState> chans;
+  // Channel endpoints and per-link telemetry, parallel to `chans`. The
+  // endpoint list is maintained unconditionally (touched only on channel
+  // creation); the telemetry vectors are only grown/updated under a sink.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> chan_ends;
+  std::vector<std::uint64_t> link_forwarded;
+  std::vector<std::vector<std::uint64_t>> link_vc_occ;
   auto channel = [&](std::uint32_t u, std::uint32_t v) -> std::uint32_t {
     std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
     auto [it, fresh] = chan_id.emplace(
@@ -107,6 +117,11 @@ WormholeStats run_wormhole(const SimTopology& topo,
     if (fresh) {
       chans.emplace_back();
       chans.back().vc.resize(config.vcs);
+      chan_ends.emplace_back(u, v);
+      if (sink != nullptr) {
+        link_forwarded.push_back(0);
+        link_vc_occ.emplace_back(config.vcs, 0);
+      }
     }
     return it->second;
   };
@@ -115,6 +130,22 @@ WormholeStats run_wormhole(const SimTopology& topo,
   std::vector<std::deque<std::uint32_t>> inject_q(n);
   std::uint64_t in_flight = 0;
   std::uint64_t stall = 0;
+
+  // Observability accumulators. `buffered` counts flits currently sitting
+  // in VC buffers (incremented on buffer entry, decremented on final-hop
+  // exit); integrating it per cycle gives total buffered flit-cycles, which
+  // the per-link occupancy sweep must sum to exactly (tested).
+  std::uint64_t buffered = 0;
+  std::uint64_t flit_cycles_buffered = 0;
+  obs::TimeSeries* inject_ts = nullptr;
+  obs::TimeSeries* deliver_ts = nullptr;
+  if (sink != nullptr) {
+    const std::uint64_t bucket =
+        std::max<std::uint64_t>(1, (config.warmup_cycles +
+                                    config.measure_cycles) / 64);
+    inject_ts = &sink->time_series("wormhole.injected", bucket);
+    deliver_ts = &sink->time_series("wormhole.delivered", bucket);
+  }
 
   // VC q belongs to class q * classes / vcs (classes partition the range).
   auto vc_allowed = [&](const PktState& p, std::uint16_t hop, unsigned q) {
@@ -147,6 +178,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
           (void)channel(p.path[h], p.path[h + 1]);
         }
         if (p.measured) stats.packets.record_injection();
+        if (inject_ts != nullptr) inject_ts->bump(cycle);
         pkts.push_back(std::move(p));
         inject_q[src].push_back(static_cast<std::uint32_t>(pkts.size() - 1));
         ++in_flight;
@@ -181,6 +213,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
         ch.vc[vc_idx].buf.push_back({pid, p.next_flit, 0, cycle});
         ++p.next_flit;
         ++moves;
+        ++buffered;
         if (p.next_flit == flits) inject_q[src].pop_front();
       }
     }
@@ -198,6 +231,8 @@ WormholeStats run_wormhole(const SimTopology& topo,
         const bool last_hop = (f.hop + 2u == p.path.size());
         if (last_hop) {
           vc.buf.pop_front();
+          --buffered;
+          if (sink != nullptr) ++link_forwarded[c];
           if (f.index + 1u == flits) {
             vc.owner = -1;
             --in_flight;
@@ -205,6 +240,13 @@ WormholeStats run_wormhole(const SimTopology& topo,
               stats.packets.record_delivery(cycle + 1 - p.injected_at,
                                             p.path.size() - 1);
             }
+            if (deliver_ts != nullptr) deliver_ts->bump(cycle);
+            HBNET_TRACE_COMPLETE(sink, "packet", "pkt", 0, p.path.front(),
+                                 p.injected_at, cycle + 1 - p.injected_at,
+                                 {{"pkt", f.pkt},
+                                  {"src", p.path.front()},
+                                  {"dst", p.path.back()},
+                                  {"hops", p.path.size() - 1}});
           }
           ++moves;
           ch.rr = (q + 1) % config.vcs;
@@ -233,6 +275,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
           continue;  // blocked; try another VC of this channel
         }
         vc.buf.pop_front();
+        if (sink != nullptr) ++link_forwarded[c];
         if (f.index + 1u == flits) vc.owner = -1;  // tail frees upstream VC
         next.vc[vc2].buf.push_back(
             {f.pkt, f.index, static_cast<std::uint16_t>(f.hop + 1), cycle});
@@ -242,11 +285,25 @@ WormholeStats run_wormhole(const SimTopology& topo,
       }
     }
 
-    // 4. Termination and deadlock detection.
+    // 4. Telemetry sweep (only under a sink): integrate buffered flits per
+    // link/VC, and sample the in-flight counter into the trace.
+    if (sink != nullptr) {
+      flit_cycles_buffered += buffered;
+      for (std::uint32_t c = 0; c < chans.size(); ++c) {
+        for (unsigned q = 0; q < config.vcs; ++q) {
+          link_vc_occ[c][q] += chans[c].vc[q].buf.size();
+        }
+      }
+      HBNET_TRACE_COUNTER(sink, "in_flight_flits", 0, cycle, buffered);
+    }
+
+    // 5. Termination and deadlock detection.
     if (!injecting && in_flight == 0) break;
     if (moves == 0 && in_flight > 0) {
       if (++stall > config.deadlock_patience) {
         stats.deadlocked = true;
+        HBNET_TRACE_INSTANT(sink, "wormhole", "deadlock", 0, 0, cycle,
+                            {{"in_flight", in_flight}});
         break;
       }
     } else {
@@ -254,6 +311,31 @@ WormholeStats run_wormhole(const SimTopology& topo,
     }
   }
   stats.cycles = cycle;
+
+  // End-of-run export: link table, registry counters, latency histogram.
+  if (sink != nullptr) {
+    sink->set_run_cycles(stats.cycles);
+    std::uint64_t forwarded_total = 0;
+    sink->links().reserve(sink->links().size() + chans.size());
+    for (std::uint32_t c = 0; c < chans.size(); ++c) {
+      obs::LinkStats link;
+      link.src = chan_ends[c].first;
+      link.dst = chan_ends[c].second;
+      link.forwarded = link_forwarded[c];
+      link.vc_occupancy = link_vc_occ[c];
+      forwarded_total += link.forwarded;
+      sink->links().push_back(std::move(link));
+    }
+    obs::MetricsRegistry& reg = sink->metrics();
+    reg.counter("wormhole.injected").inc(stats.packets.injected());
+    reg.counter("wormhole.delivered").inc(stats.packets.delivered());
+    reg.counter("wormhole.flits_forwarded").inc(forwarded_total);
+    reg.counter("wormhole.flit_cycles_buffered").inc(flit_cycles_buffered);
+    reg.counter("wormhole.cycles").inc(stats.cycles);
+    reg.gauge("wormhole.deadlocked").set(stats.deadlocked ? 1.0 : 0.0);
+    reg.histogram("wormhole.packet_latency")
+        .merge(stats.packets.latency_histogram());
+  }
   return stats;
 }
 

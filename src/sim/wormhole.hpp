@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "sim/stats.hpp"
 #include "sim/topology.hpp"
 #include "sim/traffic.hpp"
@@ -78,8 +79,15 @@ struct WormholeStats {
 /// level/position coordinate in the node indexing (node id % arity), used
 /// to detect ring direction and wrap hops for the dateline policies; pass
 /// 0 for topologies without a ring coordinate (all hops stay class 0).
+///
+/// When `sink` is non-null the run additionally reports per-link/per-VC
+/// utilization (sink->links()), injection/delivery time series, counters
+/// and the latency histogram (sink->metrics()), and -- if the sink has
+/// tracing enabled -- Chrome-trace packet lifetime spans plus an in-flight
+/// flit counter track. A null sink costs nothing on the hot path.
 [[nodiscard]] WormholeStats run_wormhole(const SimTopology& topo,
                                          const WormholeConfig& config,
-                                         unsigned ring_arity = 0);
+                                         unsigned ring_arity = 0,
+                                         obs::Sink* sink = nullptr);
 
 }  // namespace hbnet

@@ -1,6 +1,6 @@
 // hbnet command-line tool: inspect hyper-butterfly instances, compute
-// routes and disjoint paths, export DOT/edge lists, and run quick analyses
-// without writing code.
+// routes and disjoint paths, export DOT/edge lists, run quick analyses,
+// and drive the packet/wormhole simulators with full telemetry export.
 //
 // Usage:
 //   hbnet_cli info <m> <n>
@@ -11,14 +11,26 @@
 //   hbnet_cli edges <m> <n> [file]
 //   hbnet_cli cuts <m> <n>
 //   hbnet_cli election <m> <n>
+//   hbnet_cli wormhole <m> <n> [sim options]
+//   hbnet_cli sim <m> <n> [sim options]
+//
+// Sim options (wormhole/sim): --rate R --cycles C --vcs V --flits F
+//   --pattern uniform|complement|reversal|shuffle|hotspot
+//   --policy any|dateline|segment (wormhole) --valiant (sim) --seed S
+//   --trace-out FILE --metrics-out FILE --links-csv FILE
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "analysis/cuts.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "distsim/leader_election.hpp"
 #include "graph/io.hpp"
+#include "obs/sink.hpp"
+#include "sim/simulator.hpp"
+#include "sim/wormhole.hpp"
 
 namespace {
 
@@ -36,8 +48,158 @@ int usage() {
          "  dot <m> <n> [file]             Graphviz export\n"
          "  edges <m> <n> [file]           edge-list export\n"
          "  cuts <m> <n>                   dimension cuts / bisection bound\n"
-         "  election <m> <n>               run both leader elections\n";
+         "  election <m> <n>               run both leader elections\n"
+         "  wormhole <m> <n> [options]     flit-level wormhole run on HB(m,n)\n"
+         "  sim <m> <n> [options]          store-and-forward run on HB(m,n)\n"
+         "options for wormhole/sim:\n"
+         "  --rate R --cycles C --vcs V --flits F --seed S\n"
+         "  --pattern uniform|complement|reversal|shuffle|hotspot\n"
+         "  --policy any|dateline|segment   --valiant\n"
+         "  --trace-out FILE    Chrome trace JSON (chrome://tracing, Perfetto)\n"
+         "  --metrics-out FILE  metrics/links/timeseries JSON\n"
+         "  --links-csv FILE    per-link utilization CSV\n";
   return 2;
+}
+
+/// Shared flags for the telemetry-producing commands.
+struct SimFlags {
+  double rate = 0.05;
+  std::uint64_t cycles = 400;
+  unsigned vcs = 6;
+  unsigned flits = 4;
+  std::uint64_t seed = 42;
+  hbnet::TrafficPattern pattern = hbnet::TrafficPattern::kUniform;
+  hbnet::VcPolicy policy = hbnet::VcPolicy::kSegmentDateline;
+  bool valiant = false;
+  std::string trace_out, metrics_out, links_csv;
+};
+
+bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--valiant") {
+      f.valiant = true;
+    } else if (a == "--rate") {
+      const char* v = next("--rate");
+      if (!v) return false;
+      f.rate = std::stod(v);
+    } else if (a == "--cycles") {
+      const char* v = next("--cycles");
+      if (!v) return false;
+      f.cycles = std::stoull(v);
+    } else if (a == "--vcs") {
+      const char* v = next("--vcs");
+      if (!v) return false;
+      f.vcs = static_cast<unsigned>(std::stoul(v));
+    } else if (a == "--flits") {
+      const char* v = next("--flits");
+      if (!v) return false;
+      f.flits = static_cast<unsigned>(std::stoul(v));
+    } else if (a == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      f.seed = std::stoull(v);
+    } else if (a == "--pattern") {
+      const char* v = next("--pattern");
+      if (!v) return false;
+      const std::string p = v;
+      if (p == "uniform") {
+        f.pattern = hbnet::TrafficPattern::kUniform;
+      } else if (p == "complement") {
+        f.pattern = hbnet::TrafficPattern::kBitComplement;
+      } else if (p == "reversal") {
+        f.pattern = hbnet::TrafficPattern::kBitReversal;
+      } else if (p == "shuffle") {
+        f.pattern = hbnet::TrafficPattern::kShuffle;
+      } else if (p == "hotspot") {
+        f.pattern = hbnet::TrafficPattern::kHotspot;
+      } else {
+        std::cerr << "unknown pattern " << p << "\n";
+        return false;
+      }
+    } else if (a == "--policy") {
+      const char* v = next("--policy");
+      if (!v) return false;
+      const std::string p = v;
+      if (p == "any") {
+        f.policy = hbnet::VcPolicy::kAnyFree;
+      } else if (p == "dateline") {
+        f.policy = hbnet::VcPolicy::kDateline;
+      } else if (p == "segment") {
+        f.policy = hbnet::VcPolicy::kSegmentDateline;
+      } else {
+        std::cerr << "unknown policy " << p << "\n";
+        return false;
+      }
+    } else if (a == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      f.trace_out = v;
+    } else if (a == "--metrics-out") {
+      const char* v = next("--metrics-out");
+      if (!v) return false;
+      f.metrics_out = v;
+    } else if (a == "--links-csv") {
+      const char* v = next("--links-csv");
+      if (!v) return false;
+      f.links_csv = v;
+    } else {
+      std::cerr << "unknown option " << a << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Writes the sink's exports to the files requested by the flags.
+/// Returns false on I/O failure.
+bool export_sink(const hbnet::obs::Sink& sink, const SimFlags& f) {
+  auto dump = [](const std::string& path, auto&& writer) {
+    std::ofstream os(path);
+    if (!os) {
+      std::cerr << "cannot open " << path << "\n";
+      return false;
+    }
+    writer(os);
+    os << '\n';
+    return true;
+  };
+  if (!f.trace_out.empty()) {
+    if (sink.trace() == nullptr) return false;
+    if (!dump(f.trace_out,
+              [&](std::ostream& os) { sink.trace()->write_json(os); })) {
+      return false;
+    }
+    std::cout << "trace:   " << f.trace_out << " (" << sink.trace()->size()
+              << " events";
+    if (sink.trace()->dropped() > 0) {
+      std::cout << ", " << sink.trace()->dropped() << " dropped at capacity";
+    }
+    std::cout << ")\n";
+  }
+  if (!f.metrics_out.empty()) {
+    if (!dump(f.metrics_out,
+              [&](std::ostream& os) { sink.write_metrics_json(os); })) {
+      return false;
+    }
+    std::cout << "metrics: " << f.metrics_out << " (" << sink.links().size()
+              << " links)\n";
+  }
+  if (!f.links_csv.empty()) {
+    if (!dump(f.links_csv,
+              [&](std::ostream& os) { sink.write_links_csv(os); })) {
+      return false;
+    }
+    std::cout << "links:   " << f.links_csv << "\n";
+  }
+  return true;
 }
 
 void print_node(const HyperButterfly& hb, HbNode v) {
@@ -46,7 +208,7 @@ void print_node(const HyperButterfly& hb, HbNode v) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string cmd = argv[1];
   const unsigned m = static_cast<unsigned>(std::stoul(argv[2]));
@@ -158,5 +320,60 @@ int main(int argc, char** argv) {
               << structured.run.messages << " messages\n";
     return 0;
   }
+  if (cmd == "wormhole" || cmd == "sim") {
+    SimFlags flags;
+    if (!parse_sim_flags(argc, argv, 4, flags)) return usage();
+    hbnet::obs::Sink sink;
+    if (!flags.trace_out.empty()) sink.enable_trace();
+
+    if (cmd == "wormhole") {
+      auto topo = hbnet::make_hyper_butterfly_sim(m, n);
+      hbnet::WormholeConfig cfg;
+      cfg.vcs = flags.vcs;
+      cfg.flits_per_packet = flags.flits;
+      cfg.injection_rate = flags.rate;
+      cfg.measure_cycles = flags.cycles;
+      cfg.seed = flags.seed;
+      cfg.pattern = flags.pattern;
+      cfg.policy = flags.policy;
+      // The butterfly level coordinate is node id mod n: the ring arity
+      // the dateline VC classes are computed from.
+      hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, n, &sink);
+      std::cout << "wormhole HB(" << m << "," << n << ") "
+                << topo->num_nodes() << " nodes, rate " << flags.rate
+                << ", " << s.cycles << " cycles"
+                << (s.deadlocked ? " [DEADLOCK]" : "") << "\n  "
+                << s.packets.summary() << "\n  p50="
+                << s.packets.latency_percentile(0.5)
+                << " max=" << s.packets.max_latency() << "\n";
+      if (!export_sink(sink, flags)) return 1;
+      return s.deadlocked ? 1 : 0;
+    }
+
+    auto topo = hbnet::make_hyper_butterfly_sim(m, n);
+    hbnet::SimConfig cfg;
+    cfg.injection_rate = flags.rate;
+    cfg.measure_cycles = flags.cycles;
+    cfg.seed = flags.seed;
+    cfg.pattern = flags.pattern;
+    cfg.routing = flags.valiant ? hbnet::RoutingMode::kValiant
+                                : hbnet::RoutingMode::kNative;
+    hbnet::SimStats s = hbnet::run_simulation(*topo, cfg, {}, &sink);
+    std::cout << "sim HB(" << m << "," << n << ") " << topo->num_nodes()
+              << " nodes, rate " << flags.rate << "\n  " << s.summary()
+              << "\n  p50=" << s.latency_percentile(0.5)
+              << " max=" << s.max_latency() << "\n";
+    if (!export_sink(sink, flags)) return 1;
+    return 0;
+  }
   return usage();
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
 }
