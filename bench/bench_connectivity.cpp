@@ -57,6 +57,37 @@ void BM_VertexConnectivityExact(benchmark::State& state) {
 }
 BENCHMARK(BM_VertexConnectivityExact)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Thread scaling of the parallel analysis engine on HB(2,3): the same
+/// exact computation at 1/2/4 threads (results are bit-identical across
+/// thread counts by construction; see docs/performance.md).
+void BM_VertexConnectivityThreads(benchmark::State& state) {
+  hbnet::Graph g = hbnet::HyperButterfly(2, 3).to_graph();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::vertex_connectivity(g, threads));
+  }
+}
+BENCHMARK(BM_VertexConnectivityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EdgeConnectivityThreads(benchmark::State& state) {
+  hbnet::Graph g = hbnet::HyperButterfly(2, 3).to_graph();
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hbnet::edge_connectivity(g, threads));
+  }
+}
+BENCHMARK(BM_EdgeConnectivityThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

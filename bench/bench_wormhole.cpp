@@ -128,6 +128,35 @@ void BM_Wormhole(benchmark::State& state) {
 }
 BENCHMARK(BM_Wormhole)->Unit(benchmark::kMillisecond);
 
+/// Saturated-load datapath benchmark: B(5) at 0.3 uniform injection, the
+/// configuration the ring-buffer/worklist rewrite is sized for. arg 0 = 0
+/// runs telemetry-free; arg 0 = 1 attaches an obs::Sink (the overhead of
+/// per-link telemetry must stay a small fraction of the sink-off runtime).
+void BM_WormholeHeavyLoad(benchmark::State& state) {
+  auto topo = hbnet::make_butterfly_sim(5);
+  hbnet::WormholeConfig cfg;
+  cfg.vcs = 6;
+  cfg.injection_rate = 0.30;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 120000;
+  const bool with_sink = state.range(0) != 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    hbnet::obs::Sink sink;
+    hbnet::WormholeStats s =
+        hbnet::run_wormhole(*topo, cfg, 5, with_sink ? &sink : nullptr);
+    delivered = s.packets.delivered();
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_WormholeHeavyLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"sink"})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

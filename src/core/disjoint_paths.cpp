@@ -34,10 +34,14 @@
 // equal) follow the paper directly. All families are revalidated in tests
 // via graph/disjoint_paths.hpp on exhaustive small sweeps.
 
+#include <atomic>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/hyper_butterfly.hpp"
 #include "graph/disjoint_paths.hpp"
+#include "par/pool.hpp"
 
 namespace hbnet {
 namespace {
@@ -170,6 +174,75 @@ std::vector<std::vector<HbNode>> HyperButterfly::disjoint_paths(
     paths.push_back(std::move(p));
   }
   return paths;
+}
+
+DisjointPathsAudit audit_disjoint_paths(const HyperButterfly& hb,
+                                        unsigned threads) {
+  const Graph g = hb.to_graph();
+  // Materialize the lazy butterfly layer before fanning out: it is the only
+  // mutable state disjoint_paths() touches, and initializing it here
+  // happens-before every pool worker starts.
+  (void)hb.butterfly_graph();
+  const std::uint64_t n = hb.num_nodes();
+  const std::uint64_t total = n * (n - 1);  // ordered pairs, k -> (u, v)
+  const std::uint32_t expected = hb.degree();
+  std::atomic<std::uint64_t> first_bad{total};  // lowest failing pair index
+  std::mutex mu;
+  std::vector<std::pair<std::uint64_t, std::string>> failures;
+  par::ThreadPool pool(threads);
+  pool.parallel_for(total, [&](std::uint64_t k) {
+    // Cheap early exit once some lower pair already failed; harmless for
+    // determinism because only the minimum failure index is reported.
+    if (k > first_bad.load(std::memory_order_relaxed)) return;
+    const std::uint64_t u = k / (n - 1);
+    std::uint64_t v = k % (n - 1);
+    if (v >= u) ++v;
+    std::string error;
+    try {
+      const auto family =
+          hb.disjoint_paths(hb.node_at(u), hb.node_at(v));
+      if (family.size() != expected) {
+        std::ostringstream os;
+        os << "expected " << expected << " paths, got " << family.size();
+        error = os.str();
+      } else {
+        std::vector<Path> paths;
+        paths.reserve(family.size());
+        for (const auto& p : family) {
+          Path ids;
+          ids.reserve(p.size());
+          for (const HbNode& w : p) ids.push_back(
+              static_cast<NodeId>(hb.index_of(w)));
+          paths.push_back(std::move(ids));
+        }
+        PathFamilyCheck check = check_disjoint_paths(
+            g, paths, static_cast<NodeId>(u), static_cast<NodeId>(v));
+        if (!check.ok) error = check.error;
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    if (!error.empty()) {
+      std::uint64_t seen = first_bad.load(std::memory_order_relaxed);
+      while (k < seen && !first_bad.compare_exchange_weak(
+                             seen, k, std::memory_order_relaxed)) {
+      }
+      std::ostringstream os;
+      os << "pair (" << u << " -> " << v << "): " << error;
+      std::lock_guard<std::mutex> lock(mu);
+      failures.emplace_back(k, os.str());
+    }
+  });
+  DisjointPathsAudit audit;
+  audit.pairs_checked = total;
+  const std::uint64_t bad = first_bad.load();
+  if (bad != total) {
+    audit.ok = false;
+    for (const auto& [k, msg] : failures) {
+      if (k == bad) audit.error = msg;
+    }
+  }
+  return audit;
 }
 
 }  // namespace hbnet

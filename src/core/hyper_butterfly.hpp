@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/cayley.hpp"
@@ -137,5 +138,22 @@ class HyperButterfly {
   mutable Graph bfly_graph_;       // lazily materialized
   mutable bool bfly_graph_ready_ = false;
 };
+
+/// Result of sweeping the Theorem-5 construction over vertex pairs.
+struct DisjointPathsAudit {
+  bool ok = true;
+  std::uint64_t pairs_checked = 0;  // == all ordered pairs when ok
+  std::string error;  // lowest-pair-index violation when !ok, else empty
+};
+
+/// Verifies Theorem 5 operationally: for every ordered pair (u, v) of
+/// distinct vertices, constructs the m+4 disjoint paths and validates them
+/// against the materialized graph (count, endpoints, edges, internal
+/// disjointness). The pair sweep runs on the hbnet::par pool (`threads`;
+/// 0 = par::default_threads()); the reported violation, if any, is the one
+/// with the lowest pair index, so the outcome is thread-count independent.
+/// Implemented in core/disjoint_paths.cpp.
+[[nodiscard]] DisjointPathsAudit audit_disjoint_paths(const HyperButterfly& hb,
+                                                      unsigned threads = 0);
 
 }  // namespace hbnet

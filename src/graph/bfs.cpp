@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "graph/parallel_bfs.hpp"
+
 namespace hbnet {
 
 BfsResult bfs(const Graph& g, NodeId source) {
@@ -90,13 +92,9 @@ Dist eccentricity(const Graph& g, NodeId source) {
 }
 
 Dist diameter(const Graph& g) {
-  Dist best = 0;
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    Dist e = eccentricity(g, v);
-    if (e == kUnreachable) return kUnreachable;
-    best = std::max(best, e);
-  }
-  return best;
+  // The all-sources sweep is embarrassingly parallel and exact for any
+  // thread count, so the generic entry point always runs on the pool.
+  return parallel_diameter(g, 0);
 }
 
 Dist diameter_vertex_transitive(const Graph& g) {
@@ -134,8 +132,9 @@ double average_distance(const Graph& g, std::uint32_t samples,
   if (g.num_nodes() <= 1) return 0.0;
   std::vector<NodeId> sources;
   if (samples >= g.num_nodes()) {
-    sources.resize(g.num_nodes());
-    for (NodeId v = 0; v < g.num_nodes(); ++v) sources[v] = v;
+    // Exact mode sweeps every source: delegate to the pool-parallel sweep
+    // (bit-identical result, near-linear speedup).
+    return parallel_average_distance(g, 0);
   } else {
     std::mt19937_64 rng(seed);
     std::uniform_int_distribution<NodeId> pick(0, g.num_nodes() - 1);

@@ -44,8 +44,9 @@ struct BfsResult {
 /// graph is disconnected from `source`.
 [[nodiscard]] Dist eccentricity(const Graph& g, NodeId source);
 
-/// Exact diameter via BFS from every vertex. O(n * (n + m)); intended for the
-/// small/medium instances used in tests and table generation.
+/// Exact diameter via BFS from every vertex. O(n * (n + m)) work, run on
+/// the hbnet::par pool (see graph/parallel_bfs.hpp); the result is exact
+/// and thread-count independent.
 [[nodiscard]] Dist diameter(const Graph& g);
 
 /// Exact diameter of a vertex-transitive graph: one BFS from vertex 0.
@@ -60,7 +61,8 @@ struct BfsResult {
                                               const std::vector<char>& removed);
 
 /// Average inter-node distance from a sample of `samples` BFS sources chosen
-/// deterministically (seeded); exact if samples >= n.
+/// deterministically (seeded); exact if samples >= n (the exact sweep runs
+/// on the hbnet::par pool with a bit-identical result).
 [[nodiscard]] double average_distance(const Graph& g, std::uint32_t samples,
                                       std::uint64_t seed = 12345);
 

@@ -22,20 +22,32 @@ namespace hbnet {
 ///
 /// Uses the standard reduction: kappa = min over (v0, non-neighbors of v0)
 /// and pairs of neighbors, of local connectivity; bounded by min degree.
-/// Cost: O(min_degree + deg(v0)) max-flow runs. Intended for instances up to
-/// ~100k vertices with small degree.
-[[nodiscard]] std::uint32_t vertex_connectivity(const Graph& g);
+/// Cost: O(min_degree + deg(v0)) max-flow runs, distributed over a
+/// hbnet::par thread pool (`threads`; 0 = par::default_threads()) with a
+/// shared atomic best-so-far bound pruning every solve's flow limit. The
+/// result is exact and identical for every thread count: the minimizing
+/// pair's bound always exceeds its own flow value, so that solve is never
+/// truncated, and min-reduction is order independent.
+[[nodiscard]] std::uint32_t vertex_connectivity(const Graph& g,
+                                                unsigned threads = 0);
 
 /// Cheaper probabilistic lower-bound check: verifies that `target` disjoint
 /// paths exist between `pairs` randomly chosen vertex pairs. Returns true if
-/// all sampled pairs achieve at least `target` disjoint paths.
+/// all sampled pairs achieve at least `target` disjoint paths. The pair list
+/// is drawn up front from `seed` (identical for every thread count); the
+/// flow solves run on the pool and stop early once any pair fails.
 [[nodiscard]] bool check_local_connectivity_sampled(const Graph& g,
                                                     std::uint32_t target,
                                                     std::uint32_t pairs,
-                                                    std::uint64_t seed = 1);
+                                                    std::uint64_t seed = 1,
+                                                    unsigned threads = 0);
 
 /// Exact edge connectivity lambda(G) (used for sanity cross-checks in tests;
-/// lambda >= kappa for any graph).
-[[nodiscard]] std::uint32_t edge_connectivity(const Graph& g);
+/// lambda >= kappa for any graph). One max-flow per target vertex on a
+/// single network built once and reset() between solves, distributed over
+/// the pool with the same exact best-so-far pruning as
+/// vertex_connectivity.
+[[nodiscard]] std::uint32_t edge_connectivity(const Graph& g,
+                                              unsigned threads = 0);
 
 }  // namespace hbnet

@@ -8,11 +8,15 @@ namespace hbnet {
 std::uint32_t Dinic::add_arc(std::uint32_t from, std::uint32_t to,
                              std::int32_t capacity) {
   std::uint32_t index = static_cast<std::uint32_t>(arcs_.size());
-  arcs_.push_back({to, head_[from], capacity});
+  arcs_.push_back({to, head_[from], capacity, capacity});
   head_[from] = static_cast<std::int32_t>(index);
-  arcs_.push_back({from, head_[to], 0});
+  arcs_.push_back({from, head_[to], 0, 0});
   head_[to] = static_cast<std::int32_t>(index) + 1;
   return index;
+}
+
+void Dinic::reset() {
+  for (Arc& arc : arcs_) arc.cap = arc.cap0;
 }
 
 bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {

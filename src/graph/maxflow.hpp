@@ -22,6 +22,23 @@ class Dinic {
   /// Max flow from s to t, stopping early once flow >= limit.
   std::int64_t max_flow(std::uint32_t s, std::uint32_t t, std::int64_t limit);
 
+  /// Restores every arc to the capacity it was added with, undoing all flow
+  /// pushed so far. Lets sweep callers (connectivity: one solve per target)
+  /// reuse one network instead of rebuilding it per solve -- O(arcs) with no
+  /// allocation, vs O(vertices + arcs) construction plus allocation.
+  void reset();
+
+  /// Overrides the current AND the reset() capacity of an arc (the twin is
+  /// zeroed). Used by the connectivity sweeps to mark the terminals of the
+  /// vertex-split network before each solve and to restore them afterwards;
+  /// a set_arc_capacity is also a flow reset for that arc pair.
+  void set_arc_capacity(std::uint32_t arc_index, std::int32_t capacity) {
+    arcs_[arc_index].cap = capacity;
+    arcs_[arc_index].cap0 = capacity;
+    arcs_[arc_index ^ 1].cap = 0;
+    arcs_[arc_index ^ 1].cap0 = 0;
+  }
+
   /// Flow pushed through arc `arc_index` (capacity consumed).
   [[nodiscard]] std::int32_t flow_on(std::uint32_t arc_index) const {
     return arcs_[arc_index ^ 1].cap;  // residual of the twin == pushed flow
@@ -41,6 +58,7 @@ class Dinic {
     std::uint32_t to;
     std::int32_t next;  // next arc out of the same tail, or -1
     std::int32_t cap;   // residual capacity
+    std::int32_t cap0;  // capacity at add_arc time, restored by reset()
   };
 
   bool build_levels(std::uint32_t s, std::uint32_t t);

@@ -1,61 +1,55 @@
 #include "graph/parallel_bfs.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
 #include <vector>
+
+#include "par/pool.hpp"
 
 namespace hbnet {
 namespace {
 
-unsigned resolve_threads(unsigned threads, NodeId work_items) {
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  if (threads > work_items) threads = work_items == 0 ? 1 : work_items;
-  return threads;
-}
-
-/// Runs fn(source) for every vertex, work-stealing via an atomic counter.
+/// Runs fn(source, dist) for every vertex over the shared pool. Each chunk
+/// owns its BFS scratch, reused across its sources, so there is no shared
+/// mutable state beyond whatever fn itself reduces into.
 template <typename Fn>
 void for_each_source(const Graph& g, unsigned threads, Fn&& fn) {
-  std::atomic<NodeId> next{0};
-  auto worker = [&] {
-    // Per-worker BFS scratch reused across sources to avoid reallocation.
-    std::vector<Dist> dist(g.num_nodes());
-    std::vector<NodeId> frontier, fringe;
-    frontier.reserve(g.num_nodes());
-    fringe.reserve(g.num_nodes());
-    for (NodeId s = next.fetch_add(1); s < g.num_nodes();
-         s = next.fetch_add(1)) {
-      std::fill(dist.begin(), dist.end(), kUnreachable);
-      frontier.assign(1, s);
-      dist[s] = 0;
-      Dist level = 0;
-      while (!frontier.empty()) {
-        ++level;
-        fringe.clear();
-        for (NodeId u : frontier) {
-          for (NodeId v : g.neighbors(u)) {
-            if (dist[v] != kUnreachable) continue;
-            dist[v] = level;
-            fringe.push_back(v);
+  par::ThreadPool pool(threads);
+  const NodeId n = g.num_nodes();
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, std::uint64_t{n} / (8 * pool.size()));
+  pool.parallel_for_chunks(
+      n, chunk, [&](std::uint64_t begin, std::uint64_t end) {
+        std::vector<Dist> dist(n);
+        std::vector<NodeId> frontier, fringe;
+        frontier.reserve(n);
+        fringe.reserve(n);
+        for (std::uint64_t s = begin; s < end; ++s) {
+          std::fill(dist.begin(), dist.end(), kUnreachable);
+          frontier.assign(1, static_cast<NodeId>(s));
+          dist[s] = 0;
+          Dist level = 0;
+          while (!frontier.empty()) {
+            ++level;
+            fringe.clear();
+            for (NodeId u : frontier) {
+              for (NodeId v : g.neighbors(u)) {
+                if (dist[v] != kUnreachable) continue;
+                dist[v] = level;
+                fringe.push_back(v);
+              }
+            }
+            frontier.swap(fringe);
           }
+          fn(static_cast<NodeId>(s), dist);
         }
-        frontier.swap(fringe);
-      }
-      fn(s, dist);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+      });
 }
 
 }  // namespace
 
 Dist parallel_diameter(const Graph& g, unsigned threads) {
   if (g.num_nodes() == 0) return 0;
-  threads = resolve_threads(threads, g.num_nodes());
   std::atomic<Dist> best{0};
   std::atomic<bool> disconnected{false};
   for_each_source(g, threads, [&](NodeId, const std::vector<Dist>& dist) {
@@ -75,9 +69,24 @@ Dist parallel_diameter(const Graph& g, unsigned threads) {
   return disconnected.load() ? kUnreachable : best.load();
 }
 
+std::vector<Dist> parallel_eccentricities(const Graph& g, unsigned threads) {
+  std::vector<Dist> ecc(g.num_nodes(), 0);
+  for_each_source(g, threads, [&](NodeId s, const std::vector<Dist>& dist) {
+    Dist e = 0;
+    for (Dist d : dist) {
+      if (d == kUnreachable) {
+        e = kUnreachable;
+        break;
+      }
+      e = std::max(e, d);
+    }
+    ecc[s] = e;  // disjoint slots: no synchronization needed
+  });
+  return ecc;
+}
+
 double parallel_average_distance(const Graph& g, unsigned threads) {
   if (g.num_nodes() <= 1) return 0.0;
-  threads = resolve_threads(threads, g.num_nodes());
   std::atomic<std::uint64_t> total{0};
   std::atomic<std::uint64_t> pairs{0};
   for_each_source(g, threads, [&](NodeId s, const std::vector<Dist>& dist) {
@@ -91,7 +100,11 @@ double parallel_average_distance(const Graph& g, unsigned threads) {
     pairs.fetch_add(count, std::memory_order_relaxed);
   });
   std::uint64_t p = pairs.load();
-  return p == 0 ? 0.0 : static_cast<double>(total.load()) / static_cast<double>(p);
+  if (p == 0) return 0.0;
+  // long double division matches the serial average_distance() bit for bit
+  // (the integer sum is exact in both).
+  return static_cast<double>(static_cast<long double>(total.load()) /
+                             static_cast<long double>(p));
 }
 
 }  // namespace hbnet

@@ -1,11 +1,15 @@
-// Thread-parallel all-sources BFS sweeps: exact diameter and average
-// distance of non-vertex-transitive instances (the hyper-deBruijn columns
-// of Figure 2) at full speed. Sources are partitioned across a small
-// std::thread pool; each worker owns its BFS scratch (no shared mutable
-// state beyond the atomic reduction), so the speedup is near linear.
+// Thread-parallel all-sources BFS sweeps on the hbnet::par pool: exact
+// diameter, per-vertex eccentricities, and average distance of
+// non-vertex-transitive instances (the hyper-deBruijn columns of Figure 2)
+// at full speed. Sources are partitioned dynamically across the pool; each
+// chunk owns its BFS scratch (no shared mutable state beyond the
+// order-independent reductions), so the speedup is near linear and the
+// results are identical for every thread count. The serial sweep entry
+// points in graph/bfs.hpp (diameter, exact average_distance) delegate here.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
@@ -13,10 +17,18 @@
 namespace hbnet {
 
 /// Exact diameter via one BFS per vertex, distributed over `threads`
-/// workers (0 = hardware concurrency). Equals diameter(g) exactly.
+/// workers (0 = par::default_threads()). Equals serial eccentricity
+/// sweeping exactly.
 [[nodiscard]] Dist parallel_diameter(const Graph& g, unsigned threads = 0);
 
+/// Eccentricity of every vertex (kUnreachable entries when the graph is
+/// disconnected), one BFS per vertex over the pool. ecc[v] ==
+/// eccentricity(g, v) for every v.
+[[nodiscard]] std::vector<Dist> parallel_eccentricities(const Graph& g,
+                                                        unsigned threads = 0);
+
 /// Exact average inter-vertex distance (all ordered pairs), parallel.
+/// Bit-identical to average_distance(g, n) for connected graphs.
 [[nodiscard]] double parallel_average_distance(const Graph& g,
                                                unsigned threads = 0);
 

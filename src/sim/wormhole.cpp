@@ -1,12 +1,37 @@
 #include "sim/wormhole.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "obs/trace.hpp"
+
+// Datapath layout (rewritten for single-thread speed; cycle-exact with the
+// original full-scan implementation -- same seed => same WormholeStats,
+// tested):
+//
+//  * Every packet's per-hop channel ids are resolved once at injection
+//    (PktState::chan), so the advance loop never touches the channel hash
+//    map.
+//  * VC buffers are fixed-capacity (buffer_depth) ring buffers carved out
+//    of one flat arena: slot (c, q, i) lives at ((c*vcs + q)*depth + i).
+//    No per-flit allocation, no deque churn; the arena only grows when a
+//    new channel is first registered (injection phase), never while the
+//    advance loop holds references.
+//  * The advance loop walks an *active-channel worklist* instead of every
+//    channel: a channel is listed iff it holds at least one flit. The list
+//    is kept sorted ascending (the scan order of the original full sweep),
+//    compacted and merged with newly-activated channels once per cycle.
+//    Channels that gain their first flit mid-cycle contribute no move that
+//    cycle in the full-scan model either (their head flit carries this
+//    cycle's last_move stamp), so deferring them to the next cycle is
+//    behavior preserving.
+//  * Per-link/per-VC occupancy telemetry integrates push/pop deltas
+//    (occupancy * cycles-held) instead of an O(channels * vcs) sweep per
+//    cycle, so a Sink-enabled run costs O(1) extra per flit movement plus
+//    O(1) per cycle -- the end-of-cycle sampling semantics of the original
+//    sweep are reproduced exactly (tested via the occupancy-sum invariant).
 
 namespace hbnet {
 namespace {
@@ -18,19 +43,17 @@ struct Flit {
   std::uint64_t last_move;  // cycle stamp to avoid double moves
 };
 
+/// One virtual channel: owner + ring-buffer cursor into the flit arena.
 struct VcState {
-  std::deque<Flit> buf;
-  std::int64_t owner = -1;  // packet id holding this VC, -1 = free
-};
-
-struct ChanState {
-  std::vector<VcState> vc;
-  unsigned rr = 0;  // round-robin arbiter position
+  std::int64_t owner = -1;   // packet id holding this VC, -1 = free
+  std::uint32_t head = 0;    // ring-buffer read position
+  std::uint32_t count = 0;   // buffered flits
 };
 
 struct PktState {
-  std::vector<std::uint32_t> path;
-  std::vector<std::uint8_t> cls;  // VC class per hop
+  std::vector<std::uint32_t> path;  // node sequence, path.size() >= 2
+  std::vector<std::uint32_t> chan;  // channel id per hop (size-1 entries)
+  std::vector<std::uint8_t> cls;    // VC class per hop
   std::uint64_t injected_at = 0;
   std::uint16_t next_flit = 0;  // flits not yet streamed into hop 0
   bool measured = false;
@@ -95,6 +118,8 @@ WormholeStats run_wormhole(const SimTopology& topo,
   const std::uint16_t flits =
       static_cast<std::uint16_t>(config.flits_per_packet);
   const unsigned classes = vc_classes(config.policy);
+  const std::uint32_t vcs = config.vcs;
+  const std::uint32_t depth = config.buffer_depth;
 
   WormholeStats stats;
   std::mt19937_64 rng(config.seed);
@@ -102,39 +127,87 @@ WormholeStats run_wormhole(const SimTopology& topo,
   TrafficGenerator traffic(config.pattern, n,
                            config.seed ^ 0x5bf03635dcd66425ull);
 
+  std::uint64_t cycle = 0;
+
+  // -- channel storage -----------------------------------------------------
+  // The id map is consulted only when a packet is injected; the advance loop
+  // works off precomputed per-packet channel ids. All per-channel state is
+  // in flat arrays indexed by channel id (and vi = c*vcs + q per VC).
   std::unordered_map<std::uint64_t, std::uint32_t> chan_id;
-  std::vector<ChanState> chans;
-  // Channel endpoints and per-link telemetry, parallel to `chans`. The
-  // endpoint list is maintained unconditionally (touched only on channel
-  // creation); the telemetry vectors are only grown/updated under a sink.
+  std::uint32_t num_chans = 0;
+  std::vector<VcState> vc;          // num_chans * vcs
+  std::vector<Flit> arena;          // num_chans * vcs * depth ring slots
+  std::vector<unsigned> rr;         // round-robin arbiter position per chan
+  std::vector<std::uint32_t> chan_flits;  // total buffered flits per chan
   std::vector<std::pair<std::uint32_t, std::uint32_t>> chan_ends;
-  std::vector<std::uint64_t> link_forwarded;
-  std::vector<std::vector<std::uint64_t>> link_vc_occ;
+  // Active-channel worklist: `active` holds (sorted ascending) every channel
+  // with chan_flits > 0 as of the start of the cycle; channels gaining their
+  // first flit mid-cycle collect in `newly` and are merged at end of cycle.
+  std::vector<std::uint32_t> active, newly;
+  std::vector<std::uint8_t> in_active;  // member of active or newly
+  // Telemetry state, grown/updated only under a sink.
+  std::vector<std::uint64_t> link_forwarded;       // per channel
+  std::vector<std::uint64_t> occ_integral;         // per VC (flit-cycles)
+  std::vector<std::uint64_t> occ_since;            // first cycle not yet
+                                                   // integrated, per VC
+
   auto channel = [&](std::uint32_t u, std::uint32_t v) -> std::uint32_t {
     std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
-    auto [it, fresh] = chan_id.emplace(
-        key, static_cast<std::uint32_t>(chans.size()));
+    auto [it, fresh] = chan_id.emplace(key, num_chans);
     if (fresh) {
-      chans.emplace_back();
-      chans.back().vc.resize(config.vcs);
+      ++num_chans;
+      vc.resize(std::size_t{num_chans} * vcs);
+      arena.resize(std::size_t{num_chans} * vcs * depth);
+      rr.push_back(0);
+      chan_flits.push_back(0);
+      in_active.push_back(0);
       chan_ends.emplace_back(u, v);
       if (sink != nullptr) {
         link_forwarded.push_back(0);
-        link_vc_occ.emplace_back(config.vcs, 0);
+        occ_integral.resize(std::size_t{num_chans} * vcs, 0);
+        occ_since.resize(std::size_t{num_chans} * vcs, 0);
       }
     }
     return it->second;
   };
 
+  // Integrates a VC's occupancy up to (but not including) the current
+  // cycle's end-of-cycle sample; call BEFORE changing the flit count.
+  auto occ_touch = [&](std::size_t vi) {
+    occ_integral[vi] += std::uint64_t{vc[vi].count} * (cycle - occ_since[vi]);
+    occ_since[vi] = cycle;
+  };
+  auto push_flit = [&](std::uint32_t c, std::size_t vi, const Flit& f) {
+    VcState& s = vc[vi];
+    if (sink != nullptr) occ_touch(vi);
+    std::uint32_t tail = s.head + s.count;
+    if (tail >= depth) tail -= depth;  // branch beats %: depth is runtime
+    arena[vi * depth + tail] = f;
+    ++s.count;
+    ++chan_flits[c];
+    if (!in_active[c]) {
+      in_active[c] = 1;
+      newly.push_back(c);
+    }
+  };
+  auto pop_flit = [&](std::uint32_t c, std::size_t vi) {
+    VcState& s = vc[vi];
+    if (sink != nullptr) occ_touch(vi);
+    if (++s.head == depth) s.head = 0;
+    --s.count;
+    --chan_flits[c];
+  };
+
   std::vector<PktState> pkts;
-  std::vector<std::deque<std::uint32_t>> inject_q(n);
+  std::vector<std::vector<std::uint32_t>> inject_q(n);
+  std::vector<std::uint32_t> inject_head(n, 0);  // index of queue front
   std::uint64_t in_flight = 0;
   std::uint64_t stall = 0;
 
   // Observability accumulators. `buffered` counts flits currently sitting
   // in VC buffers (incremented on buffer entry, decremented on final-hop
   // exit); integrating it per cycle gives total buffered flit-cycles, which
-  // the per-link occupancy sweep must sum to exactly (tested).
+  // the per-link occupancy integrals must sum to exactly (tested).
   std::uint64_t buffered = 0;
   std::uint64_t flit_cycles_buffered = 0;
   obs::TimeSeries* inject_ts = nullptr;
@@ -149,19 +222,20 @@ WormholeStats run_wormhole(const SimTopology& topo,
 
   // VC q belongs to class q * classes / vcs (classes partition the range).
   auto vc_allowed = [&](const PktState& p, std::uint16_t hop, unsigned q) {
-    unsigned cls_of_q = q * classes / config.vcs;
+    unsigned cls_of_q = q * classes / vcs;
     return cls_of_q == p.cls[hop];
   };
 
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
-  std::uint64_t cycle = 0;
   for (; cycle < horizon; ++cycle) {
     bool injecting = cycle < config.warmup_cycles + config.measure_cycles;
     bool measuring = cycle >= config.warmup_cycles && injecting;
     std::uint64_t moves = 0;
 
-    // 1. Packet creation.
+    // 1. Packet creation. The only phase that can create channels (every
+    // channel of the route is registered here), so the flat arrays never
+    // grow while the advance loop runs.
     if (injecting) {
       for (std::uint32_t src = 0; src < n; ++src) {
         if (coin(rng) >= config.injection_rate) continue;
@@ -172,10 +246,9 @@ WormholeStats run_wormhole(const SimTopology& topo,
         p.injected_at = cycle;
         p.measured = measuring;
         p.cls = hop_classes(p.path, ring_arity, config.policy);
-        // Register every channel of the path now so `chans` never grows
-        // during the advance loop (which holds references into it).
+        p.chan.resize(p.path.size() - 1);
         for (std::size_t h = 0; h + 1 < p.path.size(); ++h) {
-          (void)channel(p.path[h], p.path[h + 1]);
+          p.chan[h] = channel(p.path[h], p.path[h + 1]);
         }
         if (p.measured) stats.packets.record_injection();
         if (inject_ts != nullptr) inject_ts->bump(cycle);
@@ -187,54 +260,62 @@ WormholeStats run_wormhole(const SimTopology& topo,
 
     // 2. Source streaming: head packet per node feeds hop-0 channel.
     for (std::uint32_t src = 0; src < n; ++src) {
-      if (inject_q[src].empty()) continue;
-      std::uint32_t pid = inject_q[src].front();
+      if (inject_head[src] >= inject_q[src].size()) continue;
+      std::uint32_t pid = inject_q[src][inject_head[src]];
       PktState& p = pkts[pid];
-      std::uint32_t c0 = channel(p.path[0], p.path[1]);
-      ChanState& ch = chans[c0];
+      const std::uint32_t c0 = p.chan[0];
+      const std::size_t base0 = std::size_t{c0} * vcs;
       int vc_idx = -1;
-      for (unsigned q = 0; q < config.vcs; ++q) {
-        if (ch.vc[q].owner == pid) {
+      for (unsigned q = 0; q < vcs; ++q) {
+        if (vc[base0 + q].owner == pid) {
           vc_idx = static_cast<int>(q);
           break;
         }
       }
       if (vc_idx < 0 && p.next_flit == 0) {
-        for (unsigned q = 0; q < config.vcs; ++q) {
-          if (ch.vc[q].owner == -1 && vc_allowed(p, 0, q)) {
-            ch.vc[q].owner = pid;
+        for (unsigned q = 0; q < vcs; ++q) {
+          if (vc[base0 + q].owner == -1 && vc_allowed(p, 0, q)) {
+            vc[base0 + q].owner = pid;
             vc_idx = static_cast<int>(q);
             break;
           }
         }
       }
       if (vc_idx >= 0 && p.next_flit < flits &&
-          ch.vc[vc_idx].buf.size() < config.buffer_depth) {
-        ch.vc[vc_idx].buf.push_back({pid, p.next_flit, 0, cycle});
+          vc[base0 + vc_idx].count < depth) {
+        push_flit(c0, base0 + static_cast<unsigned>(vc_idx),
+                  {pid, p.next_flit, 0, cycle});
         ++p.next_flit;
         ++moves;
         ++buffered;
-        if (p.next_flit == flits) inject_q[src].pop_front();
+        if (p.next_flit == flits) {
+          if (++inject_head[src] == inject_q[src].size()) {
+            inject_q[src].clear();
+            inject_head[src] = 0;
+          }
+        }
       }
     }
 
-    // 3. Channel advance: one flit per physical channel per cycle.
-    for (std::uint32_t c = 0; c < chans.size(); ++c) {
-      ChanState& ch = chans[c];
-      for (unsigned probe = 0; probe < config.vcs; ++probe) {
-        unsigned q = (ch.rr + probe) % config.vcs;
-        VcState& vc = ch.vc[q];
-        if (vc.buf.empty()) continue;
-        Flit f = vc.buf.front();
+    // 3. Channel advance: one flit per physical channel per cycle, walking
+    // only the channels that held flits at the start of the cycle.
+    for (std::uint32_t c : active) {
+      const std::size_t base = std::size_t{c} * vcs;
+      for (unsigned probe = 0; probe < vcs; ++probe) {
+        unsigned q = (rr[c] + probe) % vcs;
+        const std::size_t vi = base + q;
+        VcState& s = vc[vi];
+        if (s.count == 0) continue;
+        Flit f = arena[vi * depth + s.head];
         if (f.last_move == cycle) continue;  // arrived this very cycle
         PktState& p = pkts[f.pkt];
         const bool last_hop = (f.hop + 2u == p.path.size());
         if (last_hop) {
-          vc.buf.pop_front();
+          pop_flit(c, vi);
           --buffered;
           if (sink != nullptr) ++link_forwarded[c];
           if (f.index + 1u == flits) {
-            vc.owner = -1;
+            s.owner = -1;
             --in_flight;
             if (p.measured) {
               stats.packets.record_delivery(cycle + 1 - p.injected_at,
@@ -249,51 +330,71 @@ WormholeStats run_wormhole(const SimTopology& topo,
                                   {"hops", p.path.size() - 1}});
           }
           ++moves;
-          ch.rr = (q + 1) % config.vcs;
+          rr[c] = (q + 1) % vcs;
           break;
         }
-        std::uint32_t c2 = channel(p.path[f.hop + 1], p.path[f.hop + 2]);
-        ChanState& next = chans[c2];
+        const std::uint32_t c2 = p.chan[f.hop + 1];
+        const std::size_t base2 = std::size_t{c2} * vcs;
         int vc2 = -1;
-        for (unsigned r = 0; r < config.vcs; ++r) {
-          if (next.vc[r].owner == f.pkt) {
+        for (unsigned r = 0; r < vcs; ++r) {
+          if (vc[base2 + r].owner == f.pkt) {
             vc2 = static_cast<int>(r);
             break;
           }
         }
         if (vc2 < 0 && f.index == 0) {
-          for (unsigned r = 0; r < config.vcs; ++r) {
-            if (next.vc[r].owner == -1 &&
+          for (unsigned r = 0; r < vcs; ++r) {
+            if (vc[base2 + r].owner == -1 &&
                 vc_allowed(p, static_cast<std::uint16_t>(f.hop + 1), r)) {
-              next.vc[r].owner = f.pkt;
+              vc[base2 + r].owner = f.pkt;
               vc2 = static_cast<int>(r);
               break;
             }
           }
         }
-        if (vc2 < 0 || next.vc[vc2].buf.size() >= config.buffer_depth) {
+        if (vc2 < 0 || vc[base2 + vc2].count >= depth) {
           continue;  // blocked; try another VC of this channel
         }
-        vc.buf.pop_front();
+        pop_flit(c, vi);
         if (sink != nullptr) ++link_forwarded[c];
-        if (f.index + 1u == flits) vc.owner = -1;  // tail frees upstream VC
-        next.vc[vc2].buf.push_back(
-            {f.pkt, f.index, static_cast<std::uint16_t>(f.hop + 1), cycle});
+        if (f.index + 1u == flits) s.owner = -1;  // tail frees upstream VC
+        push_flit(c2, base2 + static_cast<unsigned>(vc2),
+                  {f.pkt, f.index, static_cast<std::uint16_t>(f.hop + 1),
+                   cycle});
         ++moves;
-        ch.rr = (q + 1) % config.vcs;
+        rr[c] = (q + 1) % vcs;
         break;
       }
     }
 
-    // 4. Telemetry sweep (only under a sink): integrate buffered flits per
-    // link/VC, and sample the in-flight counter into the trace.
-    if (sink != nullptr) {
-      flit_cycles_buffered += buffered;
-      for (std::uint32_t c = 0; c < chans.size(); ++c) {
-        for (unsigned q = 0; q < config.vcs; ++q) {
-          link_vc_occ[c][q] += chans[c].vc[q].buf.size();
+    // Worklist upkeep: drop emptied channels, fold in the ones that gained
+    // their first flit this cycle, keep ascending order (= scan order).
+    {
+      std::size_t keep = 0;
+      for (std::uint32_t c : active) {
+        if (chan_flits[c] > 0) {
+          active[keep++] = c;
+        } else {
+          in_active[c] = 0;
         }
       }
+      active.resize(keep);
+      if (!newly.empty()) {
+        std::sort(newly.begin(), newly.end());
+        const std::size_t mid = active.size();
+        active.insert(active.end(), newly.begin(), newly.end());
+        std::inplace_merge(active.begin(),
+                           active.begin() + static_cast<std::ptrdiff_t>(mid),
+                           active.end());
+        newly.clear();
+      }
+    }
+
+    // 4. Cycle telemetry (only under a sink): the per-VC occupancy is
+    // integrated incrementally by push/pop above; here only the O(1)
+    // global counter and trace sample remain.
+    if (sink != nullptr) {
+      flit_cycles_buffered += buffered;
       HBNET_TRACE_COUNTER(sink, "in_flight_flits", 0, cycle, buffered);
     }
 
@@ -314,15 +415,24 @@ WormholeStats run_wormhole(const SimTopology& topo,
 
   // End-of-run export: link table, registry counters, latency histogram.
   if (sink != nullptr) {
+    // Close the occupancy integrals: every cycle in [0, sampled_end) took
+    // an end-of-cycle sample (the loop samples before it breaks, so a break
+    // at cycle k includes k).
+    const std::uint64_t sampled_end = cycle < horizon ? cycle + 1 : horizon;
+    for (std::size_t vi = 0; vi < vc.size(); ++vi) {
+      occ_integral[vi] += std::uint64_t{vc[vi].count} *
+                          (sampled_end - occ_since[vi]);
+    }
     sink->set_run_cycles(stats.cycles);
     std::uint64_t forwarded_total = 0;
-    sink->links().reserve(sink->links().size() + chans.size());
-    for (std::uint32_t c = 0; c < chans.size(); ++c) {
+    sink->links().reserve(sink->links().size() + num_chans);
+    for (std::uint32_t c = 0; c < num_chans; ++c) {
       obs::LinkStats link;
       link.src = chan_ends[c].first;
       link.dst = chan_ends[c].second;
       link.forwarded = link_forwarded[c];
-      link.vc_occupancy = link_vc_occ[c];
+      link.vc_occupancy.assign(occ_integral.begin() + std::size_t{c} * vcs,
+                               occ_integral.begin() + std::size_t{c + 1} * vcs);
       forwarded_total += link.forwarded;
       sink->links().push_back(std::move(link));
     }

@@ -1,0 +1,157 @@
+// Determinism contract of the rewritten wormhole datapath: the simulation
+// is a pure function of (topology, config, ring arity). Same seed =>
+// identical WormholeStats -- across repeated runs, with or without an
+// attached obs::Sink, and regardless of the process-wide thread default
+// (the datapath is single-threaded by design). Also locks down the
+// incremental telemetry identities: per-VC occupancy integrals must sum to
+// the global buffered-flit-cycles counter, and per-link forwarded counts
+// to the flits_forwarded counter.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "par/pool.hpp"
+#include "sim/topology.hpp"
+#include "sim/wormhole.hpp"
+
+namespace hbnet {
+namespace {
+
+struct StatsSnapshot {
+  std::uint64_t injected, delivered, cycles, p50, p99, max_latency;
+  double mean_latency, mean_hops;
+  bool deadlocked;
+  friend bool operator==(const StatsSnapshot&, const StatsSnapshot&) = default;
+};
+
+StatsSnapshot snapshot(const WormholeStats& s) {
+  return {s.packets.injected(),
+          s.packets.delivered(),
+          s.cycles,
+          s.packets.latency_percentile(0.5),
+          s.packets.latency_percentile(0.99),
+          s.packets.max_latency(),
+          s.packets.mean_latency(),
+          s.packets.mean_hops(),
+          s.deadlocked};
+}
+
+WormholeConfig moderate_config(std::uint64_t seed) {
+  WormholeConfig cfg;
+  cfg.vcs = 6;
+  cfg.injection_rate = 0.08;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 60000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(WormholeDeterminism, SameSeedSameStats) {
+  auto topo = make_butterfly_sim(4);
+  for (std::uint64_t seed : {1u, 42u, 1234u}) {
+    const WormholeConfig cfg = moderate_config(seed);
+    const StatsSnapshot first = snapshot(run_wormhole(*topo, cfg, 4));
+    EXPECT_GT(first.delivered, 0u);
+    EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 4)), first)
+        << "seed " << seed;
+  }
+}
+
+TEST(WormholeDeterminism, DifferentSeedsDiffer) {
+  auto topo = make_butterfly_sim(4);
+  const StatsSnapshot a =
+      snapshot(run_wormhole(*topo, moderate_config(1), 4));
+  const StatsSnapshot b =
+      snapshot(run_wormhole(*topo, moderate_config(2), 4));
+  EXPECT_NE(a, b);  // astronomically unlikely to coincide
+}
+
+TEST(WormholeDeterminism, SinkDoesNotPerturbSimulation) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeConfig cfg = moderate_config(42);
+  const StatsSnapshot bare = snapshot(run_wormhole(*topo, cfg, 3));
+  obs::Sink sink;
+  sink.enable_trace();
+  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 3, &sink)), bare);
+}
+
+TEST(WormholeDeterminism, ThreadDefaultDoesNotPerturbSimulation) {
+  auto topo = make_butterfly_sim(4);
+  const WormholeConfig cfg = moderate_config(7);
+  std::vector<StatsSnapshot> runs;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    par::set_default_threads(threads);
+    runs.push_back(snapshot(run_wormhole(*topo, cfg, 4)));
+  }
+  par::set_default_threads(0);
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(WormholeDeterminism, DeadlockIsDeterministic) {
+  // 1 VC, deep worms, heavy load on a ring-bearing topology: the any-free
+  // policy deadlocks, and the cycle it is detected at is reproducible.
+  auto topo = make_butterfly_sim(4);
+  WormholeConfig cfg;
+  cfg.vcs = 1;
+  cfg.policy = VcPolicy::kAnyFree;
+  cfg.buffer_depth = 1;
+  cfg.flits_per_packet = 8;
+  cfg.injection_rate = 0.30;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 1500;
+  cfg.drain_cycles = 120000;
+  cfg.deadlock_patience = 500;
+  const StatsSnapshot first = snapshot(run_wormhole(*topo, cfg, 4));
+  EXPECT_TRUE(first.deadlocked);
+  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 4)), first);
+}
+
+TEST(WormholeDeterminism, TelemetryIdentitiesHold) {
+  auto topo = make_butterfly_sim(4);
+  WormholeConfig cfg = moderate_config(42);
+  obs::Sink sink;
+  const WormholeStats s = run_wormhole(*topo, cfg, 4, &sink);
+  ASSERT_FALSE(s.deadlocked);
+
+  // Per-link occupancy integrals (maintained incrementally on push/pop)
+  // must sum to the per-cycle buffered-flit integral, and per-link
+  // forwarded counts to the global forwarded counter.
+  std::uint64_t occupancy_sum = 0, forwarded_sum = 0;
+  for (const obs::LinkStats& link : sink.links()) {
+    ASSERT_EQ(link.vc_occupancy.size(), cfg.vcs);
+    occupancy_sum += link.occupancy();
+    forwarded_sum += link.forwarded;
+  }
+  const obs::Counter* buffered =
+      sink.metrics().find_counter("wormhole.flit_cycles_buffered");
+  const obs::Counter* forwarded =
+      sink.metrics().find_counter("wormhole.flits_forwarded");
+  ASSERT_NE(buffered, nullptr);
+  ASSERT_NE(forwarded, nullptr);
+  EXPECT_EQ(occupancy_sum, buffered->value());
+  EXPECT_EQ(forwarded_sum, forwarded->value());
+  // Every flit of every delivered packet crossed every hop of its path:
+  // forwarded counts hops * flits, so it is divisible by flits/packet and
+  // large enough to cover every delivered packet's full path.
+  EXPECT_EQ(forwarded_sum % cfg.flits_per_packet, 0u);
+  EXPECT_GE(forwarded_sum,
+            s.packets.delivered() * cfg.flits_per_packet);
+  EXPECT_EQ(sink.run_cycles(), s.cycles);
+}
+
+TEST(WormholeDeterminism, DrainedRunDeliversEverything) {
+  auto topo = make_ccc_sim(4);
+  WormholeConfig cfg = moderate_config(9);
+  cfg.injection_rate = 0.02;  // below CCC(4) saturation: must fully drain
+  const WormholeStats s = run_wormhole(*topo, cfg, 4);
+  EXPECT_FALSE(s.deadlocked);
+  EXPECT_EQ(s.packets.delivered(), s.packets.injected());
+  EXPECT_EQ(s.packets.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace hbnet

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable benchmark artifacts referenced by
+# docs/performance.md:
+#
+#   BENCH_wormhole.json      -- BM_Wormhole + BM_WormholeHeavyLoad (the
+#                               saturated-load datapath benchmark, sink
+#                               off/on)
+#   BENCH_connectivity.json  -- BM_*Connectivity* including the 1/2/4-thread
+#                               scaling runs of the parallel analysis engine
+#
+# Usage: tools/bench_json.sh [build-dir] [output-dir]
+# Defaults: build-dir = build, output-dir = current directory.
+# Also available as the CMake target `bench_json` (writes into the build
+# directory).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+
+for bin in bench_wormhole bench_connectivity; do
+  if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
+    echo "error: ${BUILD_DIR}/bench/${bin} not built" \
+         "(cmake --build ${BUILD_DIR} --target ${bin})" >&2
+    exit 1
+  fi
+done
+
+"${BUILD_DIR}/bench/bench_wormhole" \
+    --benchmark_filter='BM_Wormhole' \
+    --benchmark_out="${OUT_DIR}/BENCH_wormhole.json" \
+    --benchmark_out_format=json
+
+"${BUILD_DIR}/bench/bench_connectivity" \
+    --benchmark_filter='BM_.*Connectivity|BM_MaxDisjointPathsFlow' \
+    --benchmark_out="${OUT_DIR}/BENCH_connectivity.json" \
+    --benchmark_out_format=json
+
+echo "wrote ${OUT_DIR}/BENCH_wormhole.json and" \
+     "${OUT_DIR}/BENCH_connectivity.json"

@@ -11,13 +11,14 @@
 //   hbnet_cli edges <m> <n> [file]
 //   hbnet_cli cuts <m> <n>
 //   hbnet_cli election <m> <n>
+//   hbnet_cli analyze <m> <n> [--threads N] [--audit]
 //   hbnet_cli wormhole <m> <n> [sim options]
 //   hbnet_cli sim <m> <n> [sim options]
 //
 // Sim options (wormhole/sim): --rate R --cycles C --vcs V --flits F
 //   --pattern uniform|complement|reversal|shuffle|hotspot
 //   --policy any|dateline|segment (wormhole) --valiant (sim) --seed S
-//   --trace-out FILE --metrics-out FILE --links-csv FILE
+//   --threads N --trace-out FILE --metrics-out FILE --links-csv FILE
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -27,8 +28,12 @@
 #include "analysis/cuts.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "distsim/leader_election.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/io.hpp"
+#include "graph/parallel_bfs.hpp"
 #include "obs/sink.hpp"
+#include "par/pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wormhole.hpp"
 
@@ -49,10 +54,13 @@ int usage() {
          "  edges <m> <n> [file]           edge-list export\n"
          "  cuts <m> <n>                   dimension cuts / bisection bound\n"
          "  election <m> <n>               run both leader elections\n"
+         "  analyze <m> <n> [--threads N] [--audit]\n"
+         "                                 parallel structural analysis\n"
+         "                                 (--audit: verify Thm 5 on all pairs)\n"
          "  wormhole <m> <n> [options]     flit-level wormhole run on HB(m,n)\n"
          "  sim <m> <n> [options]          store-and-forward run on HB(m,n)\n"
          "options for wormhole/sim:\n"
-         "  --rate R --cycles C --vcs V --flits F --seed S\n"
+         "  --rate R --cycles C --vcs V --flits F --seed S --threads N\n"
          "  --pattern uniform|complement|reversal|shuffle|hotspot\n"
          "  --policy any|dateline|segment   --valiant\n"
          "  --trace-out FILE    Chrome trace JSON (chrome://tracing, Perfetto)\n"
@@ -106,6 +114,11 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
       const char* v = next("--seed");
       if (!v) return false;
       f.seed = std::stoull(v);
+    } else if (a == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      hbnet::par::set_default_threads(
+          static_cast<unsigned>(std::stoul(v)));
     } else if (a == "--pattern") {
       const char* v = next("--pattern");
       if (!v) return false;
@@ -318,6 +331,43 @@ int run(int argc, char** argv) {
               << "structured: leader " << structured.leader << ", "
               << structured.run.rounds << " rounds, "
               << structured.run.messages << " messages\n";
+    return 0;
+  }
+  if (cmd == "analyze") {
+    bool audit = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--threads" && i + 1 < argc) {
+        hbnet::par::set_default_threads(
+            static_cast<unsigned>(std::stoul(argv[++i])));
+      } else if (a == "--audit") {
+        audit = true;
+      } else {
+        std::cerr << "unknown option " << a << "\n";
+        return usage();
+      }
+    }
+    hbnet::par::ThreadPool probe;
+    hbnet::Graph g = hb.to_graph();
+    std::cout << "analyze HB(" << m << "," << n << ")  (" << probe.size()
+              << " threads)\n"
+              << "  nodes / edges:     " << g.num_nodes() << " / "
+              << g.num_edges() << "\n"
+              << "  diameter:          " << hbnet::parallel_diameter(g)
+              << "  (formula " << hb.diameter_formula() << ")\n"
+              << "  average distance:  "
+              << hbnet::parallel_average_distance(g) << "\n"
+              << "  vertex connectivity: " << hbnet::vertex_connectivity(g)
+              << "  (degree " << hb.degree() << ")\n"
+              << "  edge connectivity:   " << hbnet::edge_connectivity(g)
+              << "\n";
+    if (audit) {
+      hbnet::DisjointPathsAudit a = hbnet::audit_disjoint_paths(hb);
+      std::cout << "  Theorem-5 audit:   " << a.pairs_checked << " pairs, "
+                << (a.ok ? "all families disjoint" : "FAILED: " + a.error)
+                << "\n";
+      if (!a.ok) return 1;
+    }
     return 0;
   }
   if (cmd == "wormhole" || cmd == "sim") {
