@@ -60,12 +60,17 @@ CdgAnalysis analyze_routing_deadlock(std::uint32_t num_nodes,
   for (std::uint32_t root = 0;
        root < channel_of.size() && result.acyclic; ++root) {
     if (color[root] != kWhite) continue;
-    // Stack of (node, iterator position into a snapshot of deps).
+    // Stack of (node, iterator position into a snapshot of deps). The
+    // snapshot is sorted: deps[c] is a hash set, and leaving its iteration
+    // order visible would make the traversal -- and therefore the reported
+    // witness cycle -- depend on the standard library's hashing. Sorting
+    // pins the witness for a given input on every platform.
     std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> stack;
     auto push = [&](std::uint32_t c) {
       color[c] = kGray;
-      stack.emplace_back(
-          c, std::vector<std::uint32_t>(deps[c].begin(), deps[c].end()));
+      std::vector<std::uint32_t> snapshot(deps[c].begin(), deps[c].end());
+      std::sort(snapshot.begin(), snapshot.end());
+      stack.emplace_back(c, std::move(snapshot));
     };
     push(root);
     while (!stack.empty() && result.acyclic) {

@@ -1,0 +1,20 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hbnet::check_detail {
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& msg) {
+  if (msg.empty()) {
+    std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  } else {
+    std::fprintf(stderr, "%s failed: %s (%s) at %s:%d\n", kind, expr,
+                 msg.c_str(), file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hbnet::check_detail

@@ -1,0 +1,88 @@
+// hbnet::check -- leveled runtime invariants.
+//
+// Two levels, one contract:
+//
+//   HBNET_CHECK(cond)        always compiled in, for cheap invariants whose
+//                            violation means memory-unsafe or silently wrong
+//                            results. Cost: one predictable branch.
+//   HBNET_DCHECK(cond)       compiled in only when HBNET_CHECKS=1 (the CMake
+//                            option HBNET_CHECKS; default ON except in
+//                            Release builds). Use freely in hot paths: a
+//                            Release build with -DHBNET_CHECKS=OFF compiles
+//                            every site out to nothing.
+//
+// Both abort with a file:line diagnostic on failure -- invariant violations
+// are programming errors, not recoverable conditions, so they must not be
+// swallowed by a catch block. Input validation of public API arguments
+// stays exception-based (std::invalid_argument etc.); the check layer is
+// for *internal* consistency the caller cannot influence.
+//
+// `_MSG` variants take a message expression that is evaluated only on
+// failure (so building a std::string there is free on the passing path).
+// `_OK` variants take an expression returning std::string -- empty means
+// valid, non-empty is the failure description (the contract of the
+// check::validate overloads in check/validate.hpp).
+//
+// hblint enforces this layer: bare `assert(` in src/ is a lint error
+// (rule no-bare-assert); use these macros instead.
+#pragma once
+
+#include <string>
+
+// Compile-time switch for the DCHECK level. The build system normally sets
+// this (CMake option HBNET_CHECKS); standalone compilation falls back to
+// the assert convention: on unless NDEBUG.
+#ifndef HBNET_CHECKS
+#ifdef NDEBUG
+#define HBNET_CHECKS 0
+#else
+#define HBNET_CHECKS 1
+#endif
+#endif
+
+namespace hbnet::check_detail {
+
+/// Prints "<kind> failed: <expr> (<msg>) at <file>:<line>" to stderr and
+/// aborts. Out of line so check sites stay small.
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg);
+
+}  // namespace hbnet::check_detail
+
+#define HBNET_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hbnet::check_detail::fail("HBNET_CHECK", #cond, __FILE__, __LINE__,  \
+                                  std::string());                            \
+    }                                                                        \
+  } while (0)
+
+#define HBNET_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::hbnet::check_detail::fail("HBNET_CHECK", #cond, __FILE__, __LINE__,  \
+                                  (msg));                                    \
+    }                                                                        \
+  } while (0)
+
+/// `expr` must evaluate to std::string: empty = valid, else the violation.
+#define HBNET_CHECK_OK(expr)                                                 \
+  do {                                                                       \
+    std::string hbnet_check_err_ = (expr);                                   \
+    if (!hbnet_check_err_.empty()) {                                         \
+      ::hbnet::check_detail::fail("HBNET_CHECK_OK", #expr, __FILE__,         \
+                                  __LINE__, hbnet_check_err_);               \
+    }                                                                        \
+  } while (0)
+
+#if HBNET_CHECKS
+#define HBNET_DCHECK(cond) HBNET_CHECK(cond)
+#define HBNET_DCHECK_MSG(cond, msg) HBNET_CHECK_MSG(cond, msg)
+#define HBNET_DCHECK_OK(expr) HBNET_CHECK_OK(expr)
+#else
+// sizeof keeps the condition parsed (names stay "used", typos still fail to
+// compile) without evaluating it or emitting code.
+#define HBNET_DCHECK(cond) ((void)sizeof(!(cond)))
+#define HBNET_DCHECK_MSG(cond, msg) ((void)sizeof(!(cond)))
+#define HBNET_DCHECK_OK(expr) ((void)sizeof((expr).empty()))
+#endif

@@ -1,0 +1,33 @@
+// Structural validators for the Theorem-claim invariants, used by the
+// HBNET_DCHECK_OK sites in builders and analysis entry points (and directly
+// by tests).
+//
+// Each overload returns an empty string when the object is well formed and
+// a description of the *first* violation otherwise, so callers can route
+// the result through HBNET_CHECK_OK / HBNET_DCHECK_OK or report it softly.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace hbnet {
+class HyperButterfly;
+}
+
+namespace hbnet::check {
+
+/// CSR well-formedness: offsets monotone and consistent with the column
+/// array, every adjacency strictly ascending (no duplicates), no self
+/// loops, every target in range, and undirected symmetry (u in adj(v) iff
+/// v in adj(u)). Cost O(n + m log deg).
+[[nodiscard]] std::string validate(const Graph& g);
+
+/// HB(m,n) Theorem 1-2 invariants: m+4 generators (= degree), n * 2^(m+n)
+/// vertices, (m+4) * n * 2^(m+n-1) edges, and on a bounded sample of
+/// vertices: index_of/node_at round trip, m+4 distinct in-range neighbors,
+/// and generator involution/inverse consistency (each neighbor lists the
+/// vertex back). Sampled, so cheap even for the largest instances.
+[[nodiscard]] std::string validate(const HyperButterfly& hb);
+
+}  // namespace hbnet::check

@@ -39,6 +39,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/disjoint_paths.hpp"
 #include "par/pool.hpp"
@@ -178,6 +180,7 @@ std::vector<std::vector<HbNode>> HyperButterfly::disjoint_paths(
 
 DisjointPathsAudit audit_disjoint_paths(const HyperButterfly& hb,
                                         unsigned threads) {
+  HBNET_DCHECK_OK(check::validate(hb));
   const Graph g = hb.to_graph();
   // Materialize the lazy butterfly layer before fanning out: it is the only
   // mutable state disjoint_paths() touches, and initializing it here

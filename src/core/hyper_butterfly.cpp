@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "graph/builder.hpp"
 
 namespace hbnet {
@@ -15,6 +17,9 @@ HyperButterfly::HyperButterfly(unsigned m, unsigned n)
         "HyperButterfly: need m >= 1, n >= 3, m + n <= 26 (got m=" +
         std::to_string(m) + ", n=" + std::to_string(n) + ")");
   }
+  // Theorem 1-2 structural invariants, verified on a bounded vertex sample
+  // (checked builds only; see check/validate.hpp).
+  HBNET_DCHECK_OK(check::validate(*this));
 }
 
 std::vector<HbGen> HyperButterfly::generators() const {

@@ -40,8 +40,12 @@ NodeToSetResult node_to_set_paths_on(const HyperButterfly& hb, const Graph& g,
       out_arcs[a].push_back(dinic.add_arc(2 * a + 1, 2 * b, 1));
     }
   }
-  for (HbIndex t : target_set) {
-    dinic.add_arc(2 * static_cast<NodeId>(t) + 1, super_sink, 1);
+  // Add sink arcs in the caller's target order, not target_set's hash
+  // order: arc insertion order steers which flow decomposition Dinic finds,
+  // so iterating the hash set here would make the returned paths depend on
+  // the standard library's hashing.
+  for (const HbNode& t : targets) {
+    dinic.add_arc(2 * static_cast<NodeId>(hb.index_of(t)) + 1, super_sink, 1);
   }
   std::int64_t want = static_cast<std::int64_t>(targets.size());
   std::int64_t flow = dinic.max_flow(2 * src + 1, super_sink, want);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
+
 namespace hbnet {
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
@@ -40,7 +43,9 @@ Graph GraphBuilder::build() const {
     std::sort(columns.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
               columns.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
   }
-  return Graph(std::move(offsets), std::move(columns));
+  Graph g(std::move(offsets), std::move(columns));
+  HBNET_DCHECK_OK(check::validate(g));
+  return g;
 }
 
 }  // namespace hbnet

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "graph/maxflow.hpp"
 #include "par/pool.hpp"
 
@@ -97,6 +99,7 @@ std::uint32_t max_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
 }
 
 std::uint32_t vertex_connectivity(const Graph& g, unsigned threads) {
+  HBNET_DCHECK_OK(check::validate(g));
   const NodeId n = g.num_nodes();
   if (n <= 1) return 0;
   auto [min_deg, max_deg] = g.degree_range();
@@ -171,6 +174,7 @@ bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
 }
 
 std::uint32_t edge_connectivity(const Graph& g, unsigned threads) {
+  HBNET_DCHECK_OK(check::validate(g));
   const NodeId n = g.num_nodes();
   if (n <= 1) return 0;
   // lambda(G) = min over t != 0 of max-flow(0, t) on the un-split network.

@@ -56,6 +56,12 @@ class Graph {
     return static_cast<std::uint32_t>(row_offsets_[v + 1] - row_offsets_[v]);
   }
 
+  /// Raw CSR row offsets (size num_nodes()+1); exposed for validators and
+  /// zero-copy exporters.
+  [[nodiscard]] std::span<const std::uint64_t> row_offsets() const {
+    return row_offsets_;
+  }
+
   /// True iff (u,v) is an edge. O(log deg(u)).
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <vector>
 
+#include "check/check.hpp"
+#include "check/validate.hpp"
 #include "par/pool.hpp"
 
 namespace hbnet {
@@ -11,9 +13,11 @@ namespace {
 
 /// Runs fn(source, dist) for every vertex over the shared pool. Each chunk
 /// owns its BFS scratch, reused across its sources, so there is no shared
-/// mutable state beyond whatever fn itself reduces into.
+/// mutable state beyond whatever fn itself reduces into. All three parallel
+/// sweep entry points funnel through here, so one DCHECK covers them.
 template <typename Fn>
 void for_each_source(const Graph& g, unsigned threads, Fn&& fn) {
+  HBNET_DCHECK_OK(check::validate(g));
   par::ThreadPool pool(threads);
   const NodeId n = g.num_nodes();
   const std::uint64_t chunk =

@@ -5,7 +5,10 @@
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "check/check.hpp"
 #include "obs/trace.hpp"
 
 namespace hbnet {
@@ -64,9 +67,16 @@ struct SfTelemetry {
   void finish(std::uint64_t cycles, const SimStats& stats) {
     if (sink == nullptr) return;
     sink->set_run_cycles(cycles);
+    // Sorted extraction: link_moves is a hash map, so its iteration order is
+    // an implementation detail. The exported link table is ordered by
+    // (src, dst) -- the packed key -- so telemetry output is canonical and
+    // byte-identical across runs and standard libraries.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> by_key(
+        link_moves.begin(), link_moves.end());
+    std::sort(by_key.begin(), by_key.end());
     std::uint64_t moves_total = 0;
-    sink->links().reserve(sink->links().size() + link_moves.size());
-    for (const auto& [key, count] : link_moves) {
+    sink->links().reserve(sink->links().size() + by_key.size());
+    for (const auto& [key, count] : by_key) {
       obs::LinkStats link;
       link.src = static_cast<std::uint32_t>(key >> 32);
       link.dst = static_cast<std::uint32_t>(key & 0xffffffffu);
@@ -164,6 +174,7 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
         Packet pkt = std::move(queue[v].front());
         queue[v].pop_front();
         ++pkt.hop;
+        HBNET_DCHECK(pkt.hop < pkt.path.size());
         std::uint32_t next = pkt.path[pkt.hop];
         telem.on_move(v, next);
         if (pkt.hop + 1 == pkt.path.size()) {
@@ -173,6 +184,7 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
                                   pkt.path.size() - 1);
           }
           telem.on_deliver(cycle, pkt);
+          HBNET_DCHECK(in_flight > 0);
           --in_flight;
         } else {
           moving.emplace_back(next, std::move(pkt));

@@ -1,10 +1,12 @@
 #include "sim/wormhole.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "check/check.hpp"
 #include "obs/trace.hpp"
 
 // Datapath layout (rewritten for single-thread speed; cycle-exact with the
@@ -179,6 +181,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
   };
   auto push_flit = [&](std::uint32_t c, std::size_t vi, const Flit& f) {
     VcState& s = vc[vi];
+    HBNET_DCHECK(s.count < depth);  // caller checked capacity
     if (sink != nullptr) occ_touch(vi);
     std::uint32_t tail = s.head + s.count;
     if (tail >= depth) tail -= depth;  // branch beats %: depth is runtime
@@ -192,6 +195,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
   };
   auto pop_flit = [&](std::uint32_t c, std::size_t vi) {
     VcState& s = vc[vi];
+    HBNET_DCHECK(s.count > 0 && chan_flits[c] > 0);
     if (sink != nullptr) occ_touch(vi);
     if (++s.head == depth) s.head = 0;
     --s.count;
@@ -316,6 +320,7 @@ WormholeStats run_wormhole(const SimTopology& topo,
           if (sink != nullptr) ++link_forwarded[c];
           if (f.index + 1u == flits) {
             s.owner = -1;
+            HBNET_DCHECK(in_flight > 0);
             --in_flight;
             if (p.measured) {
               stats.packets.record_delivery(cycle + 1 - p.injected_at,
@@ -424,9 +429,19 @@ WormholeStats run_wormhole(const SimTopology& topo,
                           (sampled_end - occ_since[vi]);
     }
     sink->set_run_cycles(stats.cycles);
+    // Channel ids are assigned in registration (= injection) order, which
+    // is deterministic but not meaningful to a reader. Export the link
+    // table sorted by (src, dst) so telemetry is canonical -- the same
+    // order the store-and-forward simulator emits.
+    std::vector<std::uint32_t> by_ends(num_chans);
+    std::iota(by_ends.begin(), by_ends.end(), 0u);
+    std::sort(by_ends.begin(), by_ends.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return chan_ends[a] < chan_ends[b];
+              });
     std::uint64_t forwarded_total = 0;
     sink->links().reserve(sink->links().size() + num_chans);
-    for (std::uint32_t c = 0; c < num_chans; ++c) {
+    for (std::uint32_t c : by_ends) {
       obs::LinkStats link;
       link.src = chan_ends[c].first;
       link.dst = chan_ends[c].second;

@@ -1,0 +1,16 @@
+// hblint-scope: src
+// Fixture: the check/check.hpp macro layer and static_assert pass
+// no-bare-assert.
+#define HBNET_CHECK(cond) \
+  do {                    \
+  } while (0)
+#define HBNET_DCHECK(cond) \
+  do {                     \
+  } while (0)
+
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+void invariant(int in_flight) {
+  HBNET_CHECK(in_flight >= 0);
+  HBNET_DCHECK(in_flight < (1 << 30));
+}

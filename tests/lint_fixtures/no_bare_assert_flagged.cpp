@@ -1,0 +1,7 @@
+// hblint-scope: src
+// Fixture: rule no-bare-assert must flag assert() in library code.
+#include <cassert>
+
+void invariant(int in_flight) {
+  assert(in_flight >= 0);
+}

@@ -1,0 +1,10 @@
+// hblint-scope: src
+// Fixture: seeded engines pass no-rand; names merely containing "rand"
+// (operands, identifiers) must not trip the word-boundary match.
+#include <random>
+
+int seeded_destination(std::uint64_t seed, int n) {
+  std::mt19937_64 rng(seed);
+  int operand = static_cast<int>(rng() % n);  // "rand" inside a word: fine
+  return operand;
+}

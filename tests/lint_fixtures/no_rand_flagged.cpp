@@ -1,0 +1,8 @@
+// hblint-scope: src
+// Fixture: rule no-rand must flag std::rand/srand call sites.
+#include <cstdlib>
+
+int noisy_destination(int n) {
+  srand(42);
+  return std::rand() % n;
+}

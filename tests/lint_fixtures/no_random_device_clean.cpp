@@ -1,0 +1,13 @@
+// hblint-scope: src
+// Fixture: a documented seeded-RNG construction site may suppress
+// no-random-device explicitly; everything else uses the config seed.
+#include <random>
+
+std::uint64_t default_seed(bool want_entropy) {
+  if (want_entropy) {
+    // CLI-only escape hatch: an unseeded run asks the OS for entropy once.
+    std::random_device rd;  // hblint: allow(no-random-device)
+    return rd();
+  }
+  return 1;
+}

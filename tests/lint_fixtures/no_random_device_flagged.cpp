@@ -1,0 +1,8 @@
+// hblint-scope: src
+// Fixture: rule no-random-device must flag undocumented entropy taps.
+#include <random>
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return rd();
+}

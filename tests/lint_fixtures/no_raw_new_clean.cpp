@@ -1,0 +1,19 @@
+// hblint-scope: src
+// Fixture: make_unique, containers, deleted special members, and
+// identifiers containing "new" (newly, renew) all pass no-raw-new.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int value = 0;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  Node() = default;
+};
+
+int owned() {
+  auto n = std::make_unique<Node>();
+  std::vector<int> newly;
+  newly.push_back(n->value);
+  return newly.back();
+}

@@ -1,0 +1,12 @@
+// hblint-scope: src
+// Fixture: rule no-raw-new must flag raw new and delete expressions.
+struct Node {
+  int value = 0;
+};
+
+int leak_prone() {
+  Node* n = new Node();
+  int v = n->value;
+  delete n;
+  return v;
+}

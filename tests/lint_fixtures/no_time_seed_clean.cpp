@@ -1,0 +1,14 @@
+// hblint-scope: src
+// Fixture: identifiers containing "time" (time_series, measure_time_) and a
+// config-provided seed pass no-time-seed.
+#include <cstdint>
+
+struct Series {
+  void time_series(int bucket);
+};
+
+std::uint64_t config_seed(std::uint64_t seed) {
+  Series s;
+  s.time_series(64);
+  return seed ^ 0x9e3779b97f4a7c15ull;
+}

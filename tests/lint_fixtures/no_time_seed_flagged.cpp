@@ -1,0 +1,7 @@
+// hblint-scope: src
+// Fixture: rule no-time-seed must flag wall-clock time() reads.
+#include <ctime>
+
+std::uint64_t clock_seed() {
+  return static_cast<std::uint64_t>(std::time(nullptr));
+}

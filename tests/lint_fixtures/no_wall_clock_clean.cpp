@@ -1,0 +1,11 @@
+// hblint-scope: tools
+// Fixture: wall clocks are allowed outside library code (benches, tools) --
+// this file would be flagged under scope src but is scoped to tools.
+#include <chrono>
+
+double tool_elapsed() {
+  auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,9 @@
+// hblint-scope: src
+// Fixture: rule no-wall-clock must flag chrono clock reads in library code.
+#include <chrono>
+
+double wall_elapsed() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

@@ -1,0 +1,21 @@
+// hblint-scope: src
+// Fixture: entry points with trailing `obs::Sink* = nullptr` pass
+// sink-default.
+#pragma once
+
+namespace hbnet {
+namespace obs {
+class Sink;
+}
+
+struct WormholeStats;
+struct SimTopology;
+struct WormholeConfig;
+
+WormholeStats run_wormhole(const SimTopology& topo,
+                           const WormholeConfig& config, unsigned ring_arity,
+                           obs::Sink* sink = nullptr);
+
+void run_protocol(int graph, int rounds, obs::Sink* sink = nullptr);
+
+}  // namespace hbnet

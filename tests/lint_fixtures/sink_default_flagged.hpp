@@ -1,0 +1,22 @@
+// hblint-scope: src
+// Fixture: rule sink-default must flag (a) an undefaulted obs::Sink*
+// parameter in a header and (b) a known entry point that dropped its
+// Sink parameter entirely.
+#pragma once
+
+namespace hbnet {
+namespace obs {
+class Sink;
+}
+
+struct WormholeStats;
+struct SimTopology;
+struct WormholeConfig;
+
+WormholeStats run_wormhole(const SimTopology& topo,
+                           const WormholeConfig& config, unsigned ring_arity,
+                           obs::Sink* sink);
+
+void run_protocol(int graph, int rounds);
+
+}  // namespace hbnet

@@ -1,0 +1,11 @@
+// hblint-scope: src
+// Fixture: per-line `hblint: allow(<rule>)` silences exactly that rule on
+// that line; the unsuppressed sibling line below must still be flagged by
+// tests driving this file.
+#include <cstdlib>
+
+int suppressed_then_flagged() {
+  int a = std::rand();  // hblint: allow(no-rand)
+  int b = std::rand();
+  return a + b;
+}

@@ -1,0 +1,15 @@
+// hblint-scope: src
+// Fixture: emission through the HBNET_TRACE_* macros passes
+// trace-macro-only (the macros expand to guarded recorder calls inside
+// src/obs, which is exempt).
+#define HBNET_TRACE_INSTANT(sink, ...) \
+  do {                                 \
+  } while (0)
+
+namespace hbnet::obs {
+class Sink;
+}
+
+void hot_path(hbnet::obs::Sink* sink, unsigned long cycle) {
+  HBNET_TRACE_INSTANT(sink, "sim", "event", 0, 0, cycle);
+}

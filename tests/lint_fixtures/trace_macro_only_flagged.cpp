@@ -1,0 +1,16 @@
+// hblint-scope: src
+// Fixture: rule trace-macro-only must flag direct TraceRecorder /
+// Sink::trace() use in library hot paths.
+namespace hbnet::obs {
+class TraceRecorder;
+class Sink {
+ public:
+  TraceRecorder* trace();
+};
+}  // namespace hbnet::obs
+
+void hot_path(hbnet::obs::Sink* sink) {
+  if (sink != nullptr && sink->trace() != nullptr) {
+    // would emit directly here
+  }
+}

@@ -1,0 +1,28 @@
+// hblint-scope: src
+// Fixture: the sanctioned sorted-extraction idiom -- copy the hash map into
+// a vector, sort by key, then iterate the vector -- passes
+// unordered-iteration. Lookups and inserts are always fine.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+std::vector<std::uint64_t> export_moves_sorted(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& link_moves) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_key(
+      link_moves.begin(), link_moves.end());
+  std::sort(by_key.begin(), by_key.end());
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, count] : by_key) {
+    out.push_back(key ^ count);
+  }
+  return out;
+}
+
+std::uint64_t lookup(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& link_moves,
+    std::uint64_t key) {
+  auto it = link_moves.find(key);
+  return it == link_moves.end() ? 0 : it->second;
+}

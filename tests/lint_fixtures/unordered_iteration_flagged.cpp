@@ -1,0 +1,15 @@
+// hblint-scope: src
+// Fixture: rule unordered-iteration must flag range-for over hash
+// containers -- the iteration order would leak into the accumulated output.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::uint64_t> export_moves(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& link_moves) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [key, count] : link_moves) {
+    out.push_back(key ^ count);
+  }
+  return out;
+}

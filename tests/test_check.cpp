@@ -1,0 +1,109 @@
+// Tests for the check layer: validate() accepts well-formed structures and
+// pinpoints malformed ones, and the HBNET_CHECK macros abort with a
+// file:line diagnostic (death tests).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/validate.hpp"
+#include "core/hyper_butterfly.hpp"
+#include "graph/graph.hpp"
+
+namespace hbnet {
+namespace {
+
+TEST(Validate, AcceptsTriangle) {
+  Graph g({0, 2, 4, 6}, {1, 2, 0, 2, 0, 1});
+  EXPECT_EQ(check::validate(g), "");
+}
+
+TEST(Validate, AcceptsEmptyGraph) {
+  Graph g;
+  EXPECT_EQ(check::validate(g), "");
+}
+
+TEST(Validate, RejectsSelfLoop) {
+  Graph g({0, 1, 2}, {0, 1});
+  EXPECT_NE(check::validate(g), "");
+}
+
+TEST(Validate, RejectsAsymmetry) {
+  // 0 -> 1 stored, but 1's adjacency is empty.
+  Graph g({0, 1, 1}, {1});
+  EXPECT_NE(check::validate(g), "");
+}
+
+TEST(Validate, RejectsNonMonotoneOffsets) {
+  // front()==0 and back()==columns.size() pass the constructor's cheap
+  // checks; the dip at index 2 is what the validator must catch.
+  Graph g({0, 2, 1, 2}, {1, 0});
+  EXPECT_NE(check::validate(g), "");
+}
+
+TEST(Validate, RejectsUnsortedAdjacency) {
+  // Node 0's adjacency {2, 1} is out of order.
+  Graph g({0, 2, 3, 4}, {2, 1, 0, 0});
+  EXPECT_NE(check::validate(g), "");
+}
+
+TEST(Validate, RejectsTargetOutOfRange) {
+  Graph g({0, 1, 2}, {1, 5});
+  EXPECT_NE(check::validate(g), "");
+}
+
+TEST(Validate, AcceptsHyperButterfly) {
+  for (auto [m, n] : {std::pair<unsigned, unsigned>{1, 3},
+                      {2, 3},
+                      {2, 4}}) {
+    HyperButterfly hb(m, n);
+    EXPECT_EQ(check::validate(hb), "") << "HB(" << m << "," << n << ")";
+  }
+}
+
+TEST(Validate, HyperButterflyGraphIsWellFormed) {
+  HyperButterfly hb(1, 3);
+  EXPECT_EQ(check::validate(hb.to_graph()), "");
+}
+
+using CheckDeath = ::testing::Test;
+
+TEST(CheckDeath, CheckAbortsWithDiagnostic) {
+  EXPECT_DEATH(HBNET_CHECK(1 + 1 == 3), "HBNET_CHECK failed");
+}
+
+TEST(CheckDeath, CheckMsgIncludesMessage) {
+  EXPECT_DEATH(HBNET_CHECK_MSG(false, "in_flight underflow"),
+               "in_flight underflow");
+}
+
+TEST(CheckDeath, CheckOkReportsValidatorString) {
+  EXPECT_DEATH(HBNET_CHECK_OK(std::string("offsets not monotone")),
+               "offsets not monotone");
+}
+
+TEST(CheckDeath, PassingChecksAreSilent) {
+  HBNET_CHECK(true);
+  HBNET_CHECK_MSG(2 + 2 == 4, "never shown");
+  HBNET_CHECK_OK(std::string());
+  HBNET_DCHECK(true);
+  HBNET_DCHECK_OK(std::string());
+}
+
+#if HBNET_CHECKS
+TEST(CheckDeath, DcheckActiveWhenChecksOn) {
+  EXPECT_DEATH(HBNET_DCHECK(false), "HBNET_CHECK failed");
+}
+#else
+TEST(CheckDeath, DcheckCompiledOutWhenChecksOff) {
+  bool evaluated = false;
+  // The condition must not be evaluated when the level is compiled out.
+  HBNET_DCHECK((evaluated = true));
+  EXPECT_FALSE(evaluated);
+}
+#endif
+
+}  // namespace
+}  // namespace hbnet

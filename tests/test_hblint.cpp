@@ -1,0 +1,148 @@
+// Tests for tools/hblint: every rule has a flagged fixture that fires and a
+// clean fixture that stays silent, suppressions silence exactly one line,
+// and the real source tree lints clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "hblint/hblint.hpp"
+
+#ifndef HBNET_SOURCE_DIR
+#error "HBNET_SOURCE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(HBNET_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+std::size_t count_rule(const std::vector<hblint::Diagnostic>& diags,
+                       const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const hblint::Diagnostic& d) { return d.rule == rule; }));
+}
+
+std::string dump(const std::vector<hblint::Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    out += d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " +
+           d.message + "\n";
+  }
+  return out;
+}
+
+struct FixturePair {
+  const char* rule;
+  const char* flagged;
+  const char* clean;
+};
+
+const FixturePair kPairs[] = {
+    {"no-rand", "no_rand_flagged.cpp", "no_rand_clean.cpp"},
+    {"no-time-seed", "no_time_seed_flagged.cpp", "no_time_seed_clean.cpp"},
+    {"no-random-device", "no_random_device_flagged.cpp",
+     "no_random_device_clean.cpp"},
+    {"no-wall-clock", "no_wall_clock_flagged.cpp", "no_wall_clock_clean.cpp"},
+    {"unordered-iteration", "unordered_iteration_flagged.cpp",
+     "unordered_iteration_clean.cpp"},
+    {"sink-default", "sink_default_flagged.hpp", "sink_default_clean.hpp"},
+    {"trace-macro-only", "trace_macro_only_flagged.cpp",
+     "trace_macro_only_clean.cpp"},
+    {"no-raw-new", "no_raw_new_flagged.cpp", "no_raw_new_clean.cpp"},
+    {"no-bare-assert", "no_bare_assert_flagged.cpp",
+     "no_bare_assert_clean.cpp"},
+};
+
+TEST(Hblint, EveryRuleHasFlaggedFixture) {
+  for (const FixturePair& p : kPairs) {
+    auto diags = hblint::lint_file(fixture(p.flagged));
+    EXPECT_EQ(count_rule(diags, "io"), 0u) << p.flagged << " unreadable";
+    EXPECT_GE(count_rule(diags, p.rule), 1u)
+        << p.flagged << " did not trigger " << p.rule << "\n"
+        << dump(diags);
+  }
+}
+
+TEST(Hblint, EveryRuleHasCleanFixture) {
+  for (const FixturePair& p : kPairs) {
+    auto diags = hblint::lint_file(fixture(p.clean));
+    EXPECT_TRUE(diags.empty())
+        << p.clean << " should lint clean:\n"
+        << dump(diags);
+  }
+}
+
+TEST(Hblint, RuleCatalogueMatchesFixtures) {
+  const auto& catalogue = hblint::rules();
+  ASSERT_EQ(catalogue.size(), std::size(kPairs));
+  for (const FixturePair& p : kPairs) {
+    bool listed = std::any_of(
+        catalogue.begin(), catalogue.end(),
+        [&](const hblint::RuleInfo& r) { return p.rule == std::string(r.name); });
+    EXPECT_TRUE(listed) << p.rule << " missing from rules()";
+  }
+}
+
+TEST(Hblint, PerLineSuppressionSilencesOnlyThatLine) {
+  auto diags = hblint::lint_file(fixture("suppression_fixture.cpp"));
+  ASSERT_EQ(diags.size(), 1u) << dump(diags);
+  EXPECT_EQ(diags[0].rule, "no-rand");
+  EXPECT_EQ(diags[0].line, 9u);
+}
+
+TEST(Hblint, AllowFileSuppressesEverywhere) {
+  const std::string content =
+      "// hblint-scope: src\n"
+      "// hblint: allow-file(no-rand)\n"
+      "#include <cstdlib>\n"
+      "int f() { return std::rand(); }\n"
+      "int g() { return std::rand(); }\n";
+  EXPECT_TRUE(hblint::lint_content("src/fake.cpp", content).empty());
+}
+
+TEST(Hblint, ScopeOfPath) {
+  EXPECT_EQ(hblint::scope_of_path("src/sim/simulator.cpp"),
+            hblint::Scope::kLibrary);
+  EXPECT_EQ(hblint::scope_of_path("tools/bench_json.cpp"),
+            hblint::Scope::kTools);
+  EXPECT_EQ(hblint::scope_of_path("tests/test_sim.cpp"),
+            hblint::Scope::kTests);
+}
+
+TEST(Hblint, LibraryOnlyRulesSkipTests) {
+  // A wall clock in a test file is allowed; the same line in src/ is not.
+  const std::string content =
+      "#include <chrono>\n"
+      "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(hblint::lint_content("tests/test_timing.cpp", content).empty());
+  auto diags = hblint::lint_content("src/sim/timing.cpp", content);
+  EXPECT_EQ(count_rule(diags, "no-wall-clock"), 1u) << dump(diags);
+}
+
+TEST(Hblint, RealTreeLintsClean) {
+  const std::string root(HBNET_SOURCE_DIR);
+  auto files =
+      hblint::collect_files({root + "/src", root + "/tools", root + "/tests"});
+  ASSERT_GT(files.size(), 50u);  // sanity: the tree was actually walked
+  std::vector<hblint::Diagnostic> all;
+  for (const auto& f : files) {
+    auto diags = hblint::lint_file(f);
+    all.insert(all.end(), diags.begin(), diags.end());
+  }
+  EXPECT_TRUE(all.empty()) << dump(all);
+}
+
+TEST(Hblint, CollectFilesSkipsFixturesAndBuild) {
+  const std::string root(HBNET_SOURCE_DIR);
+  auto files = hblint::collect_files({root + "/tests"});
+  for (const auto& f : files) {
+    EXPECT_EQ(f.find("lint_fixtures"), std::string::npos) << f;
+    EXPECT_EQ(f.find("/build"), std::string::npos) << f;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// hblint -- the project's static checker.
+//
+// A standalone token-level linter (no libclang) that mechanically enforces
+// the contracts this library otherwise relies on code review for:
+//
+//   * the hbnet::par determinism contract -- no nondeterminism sources
+//     (std::rand, time(), std::random_device, wall clocks in library code)
+//     and no iteration over unordered containers feeding results or
+//     telemetry (iteration-order hazard; extract and sort instead),
+//   * the obs contract -- every simulator/broadcast entry point keeps its
+//     trailing `obs::Sink* = nullptr` parameter, and hot paths emit traces
+//     through the HBNET_TRACE_* macros only,
+//   * the resource/invariant conventions -- no raw new/delete, and no bare
+//     assert() in src/ (use HBNET_CHECK / HBNET_DCHECK from
+//     check/check.hpp).
+//
+// Diagnostics carry file:line and a rule name. A finding is suppressed by
+// putting `hblint: allow(<rule>)` in a comment on the flagged line, or
+// `hblint: allow-file(<rule>)` anywhere in the file. Fixture files under
+// tests/lint_fixtures/ carry a `// hblint-scope: src|tools|tests` pragma so
+// each rule can be exercised outside its real directory.
+//
+// See docs/static_analysis.md for the rule catalogue and rationale.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hblint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Which rule set applies to a file. Library code gets the full set; tools
+/// and tests skip the library-only rules (wall clocks, Sink defaults, trace
+/// macros, bare assert).
+enum class Scope { kLibrary, kTools, kTests };
+
+struct RuleInfo {
+  const char* name;
+  const char* description;
+};
+
+/// The rule catalogue, in diagnostic order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+/// Scope derived from the path (tests/ > tools/ > src/; default library).
+[[nodiscard]] Scope scope_of_path(const std::string& path);
+
+/// Lints in-memory content. `path` is used for diagnostics, header
+/// detection, and scope selection (unless the content carries an
+/// `hblint-scope:` pragma).
+[[nodiscard]] std::vector<Diagnostic> lint_content(const std::string& path,
+                                                   const std::string& content);
+
+/// Reads and lints one file; an unreadable file yields a single "io"
+/// diagnostic.
+[[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path);
+
+/// Expands files and directories into the sorted list of lintable sources
+/// (.cpp/.cc/.hpp/.hh/.h), skipping lint_fixtures, build*, and dot
+/// directories.
+[[nodiscard]] std::vector<std::string> collect_files(
+    const std::vector<std::string>& roots);
+
+}  // namespace hblint

@@ -1,0 +1,57 @@
+// hblint CLI. Usage:
+//
+//   hblint [--list-rules] <file-or-dir>...
+//
+// Lints every .cpp/.cc/.hpp/.hh/.h under the given paths (skipping
+// lint_fixtures, build*, and dot directories), prints
+// `file:line: [rule] message` diagnostics, and exits 1 if any fired.
+// Run over this repository: `hblint src tools tests` (the `lint` CMake
+// target and the `hblint.tree` CTest entry do exactly that).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hblint/hblint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& rule : hblint::rules()) {
+        std::printf("%-22s %s\n", rule.name, rule.description);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: hblint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: hblint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+
+  const std::vector<std::string> files = hblint::collect_files(roots);
+  if (files.empty()) {
+    std::fprintf(stderr, "hblint: no lintable files under given paths\n");
+    return 2;
+  }
+  std::size_t findings = 0;
+  for (const std::string& file : files) {
+    for (const auto& d : hblint::lint_file(file)) {
+      std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                  d.rule.c_str(), d.message.c_str());
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::fprintf(stderr, "hblint: %zu finding(s) in %zu file(s) scanned\n",
+                 findings, files.size());
+    return 1;
+  }
+  std::printf("hblint: clean (%zu files)\n", files.size());
+  return 0;
+}
