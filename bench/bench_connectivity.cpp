@@ -6,6 +6,7 @@
 
 #include "core/hyper_butterfly.hpp"
 #include "graph/connectivity.hpp"
+#include "graph/connectivity_sweep.hpp"
 #include "topology/butterfly.hpp"
 #include "topology/hyper_debruijn.hpp"
 #include "topology/hypercube.hpp"
@@ -57,9 +58,10 @@ void BM_VertexConnectivityExact(benchmark::State& state) {
 }
 BENCHMARK(BM_VertexConnectivityExact)->Arg(3)->Arg(4)->Unit(benchmark::kMillisecond);
 
-/// Thread scaling of the parallel analysis engine on HB(2,3): the same
-/// exact computation at 1/2/4 threads (results are bit-identical across
-/// thread counts by construction; see docs/performance.md).
+/// Thread scaling of the exact engine on HB(2,3) under the *generic*
+/// Even-Tarjan schedule (what vertex_connectivity runs on an arbitrary
+/// graph): the same exact computation at 1/2/4 threads, bit-identical
+/// results across thread counts by construction (see docs/performance.md).
 void BM_VertexConnectivityThreads(benchmark::State& state) {
   hbnet::Graph g = hbnet::HyperButterfly(2, 3).to_graph();
   const auto threads = static_cast<unsigned>(state.range(0));
@@ -72,6 +74,33 @@ BENCHMARK(BM_VertexConnectivityThreads)
     ->Arg(2)
     ->Arg(4)
     ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+/// The ConnectivitySweep engine on its fast path: single-source schedule
+/// (HB is a Cayley graph, hence vertex transitive), structural pruning, and
+/// per-worker flow-network reuse. Range is (m, threads); compare against
+/// BM_VertexConnectivityThreads for the source-set-reduction speedup.
+void BM_VertexConnectivityEvenTarjan(benchmark::State& state) {
+  hbnet::Graph g =
+      hbnet::HyperButterfly(static_cast<unsigned>(state.range(0)), 3)
+          .to_graph();
+  const auto threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    hbnet::SweepOptions opts;
+    opts.threads = threads;
+    opts.vertex_transitive = true;
+    hbnet::ConnectivitySweep sweep(g, opts);
+    benchmark::DoNotOptimize(sweep.run().kappa);
+  }
+}
+BENCHMARK(BM_VertexConnectivityEvenTarjan)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({3, 4})
+    ->ArgNames({"m", "threads"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_EdgeConnectivityThreads(benchmark::State& state) {

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/hyper_butterfly.hpp"
+#include "graph/connectivity_sweep.hpp"
 
 namespace hbnet::check {
 namespace {
@@ -96,6 +97,52 @@ std::string validate(const HyperButterfly& hb) {
         return at_node("neighbor does not list the vertex back", id);
       }
     }
+  }
+  return {};
+}
+
+std::string validate(const SweepState& st) {
+  if (st.version != SweepState::kVersion) {
+    return "unsupported checkpoint version " + std::to_string(st.version);
+  }
+  if (st.block_size == 0) return "checkpoint block size is zero";
+  if (st.num_nodes == 0 && (st.stages_done != 0 || st.bound != 0)) {
+    return "nonzero sweep position on an empty graph";
+  }
+  if (st.stages_done > st.num_nodes) {
+    return "stages_done " + std::to_string(st.stages_done) +
+           " exceeds node count " + std::to_string(st.num_nodes);
+  }
+  if (st.num_nodes > 0 && st.bound > st.num_nodes - 1) {
+    return "bound " + std::to_string(st.bound) +
+           " exceeds the trivial kappa bound n-1";
+  }
+  // Every target of every stage is counted at most once as solved or
+  // pruned, and a stage has at most n-1 targets.
+  const std::uint64_t max_pairs =
+      std::uint64_t{st.num_nodes} * st.num_nodes;
+  if (st.solves > max_pairs || st.pruned > max_pairs ||
+      st.solves + st.pruned > max_pairs) {
+    return "work counters exceed the pair count";
+  }
+  if (st.complete && st.blocks_done != 0) {
+    return "complete checkpoint sits mid-stage (position not normalized)";
+  }
+  return {};
+}
+
+std::string validate(const SweepState& st, const Graph& g) {
+  if (std::string err = validate(st); !err.empty()) return err;
+  if (st.num_nodes != g.num_nodes()) {
+    return "checkpoint node count " + std::to_string(st.num_nodes) +
+           " != graph node count " + std::to_string(g.num_nodes());
+  }
+  if (st.num_edges != g.num_edges()) {
+    return "checkpoint edge count " + std::to_string(st.num_edges) +
+           " != graph edge count " + std::to_string(g.num_edges());
+  }
+  if (st.fingerprint != graph_fingerprint(g)) {
+    return "checkpoint fingerprint does not match the graph";
   }
   return {};
 }

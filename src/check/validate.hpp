@@ -13,6 +13,7 @@
 
 namespace hbnet {
 class HyperButterfly;
+struct SweepState;
 }
 
 namespace hbnet::check {
@@ -29,5 +30,17 @@ namespace hbnet::check {
 /// and generator involution/inverse consistency (each neighbor lists the
 /// vertex back). Sampled, so cheap even for the largest instances.
 [[nodiscard]] std::string validate(const HyperButterfly& hb);
+
+/// ConnectivitySweep checkpoint-state invariants: supported format version,
+/// nonzero block size, position and bound within range for the recorded
+/// graph shape, work counters bounded by the pair count, and normalized
+/// stage position (a complete state never sits mid-stage). Used by the
+/// sweep before every checkpoint write and on every resume.
+[[nodiscard]] std::string validate(const SweepState& st);
+
+/// The above plus graph identity: a checkpoint may only be resumed against
+/// the exact graph it was taken from (node and edge counts and the CSR
+/// fingerprint must all match).
+[[nodiscard]] std::string validate(const SweepState& st, const Graph& g);
 
 }  // namespace hbnet::check

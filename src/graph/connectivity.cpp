@@ -2,54 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
-#include <limits>
 #include <random>
 #include <stdexcept>
 #include <utility>
 
 #include "check/check.hpp"
 #include "check/validate.hpp"
+#include "graph/connectivity_sweep.hpp"
 #include "graph/maxflow.hpp"
 #include "par/pool.hpp"
 
 namespace hbnet {
 namespace {
-
-constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
-
-/// Builds the vertex-split flow network with *unit* in->out arcs everywhere:
-/// every vertex v becomes v_in = 2v, v_out = 2v+1 with a unit arc in->out;
-/// every undirected edge {u,v} becomes u_out->v_in and v_out->u_in with unit
-/// caps. The in->out arc of vertex v has arc index 2v (vertex arcs are added
-/// first, one add_arc call each), so terminals of a concrete (s,t) solve can
-/// be widened to kInf with set_arc_capacity and restored afterwards -- one
-/// shared prototype serves every pair of the sweep.
-Dinic make_split_prototype(const Graph& g) {
-  Dinic dinic(2 * g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    dinic.add_arc(2 * v, 2 * v + 1, 1);
-  }
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId v : g.neighbors(u)) {
-      dinic.add_arc(2 * u + 1, 2 * v, 1);  // each direction added once
-    }
-  }
-  return dinic;
-}
-
-/// One (s,t) solve on the shared split prototype: widen the terminals,
-/// run Dinic up to `limit`, then restore the prototype (terminal caps back
-/// to 1, all flow cleared). Exact as long as limit > kappa(s, t).
-std::int64_t split_solve(Dinic& dinic, NodeId s, NodeId t,
-                         std::int64_t limit) {
-  dinic.set_arc_capacity(2 * s, kInf);
-  dinic.set_arc_capacity(2 * t, kInf);
-  std::int64_t flow = dinic.max_flow(2 * s + 1, 2 * t, limit);
-  dinic.set_arc_capacity(2 * s, 1);
-  dinic.set_arc_capacity(2 * t, 1);
-  dinic.reset();
-  return flow;
-}
 
 /// Atomic min-update; returns nothing, loops until the stored value is
 /// <= candidate. Order independent, so parallel sweeps stay deterministic.
@@ -61,83 +25,21 @@ void atomic_min(std::atomic<std::uint32_t>& best, std::uint32_t candidate) {
   }
 }
 
-/// Runs `tasks.size()` split-network solves distributed over the pool. Each
-/// chunk clones the prototype once and reuses it via reset() across its
-/// tasks; `limit_for` supplies the per-task flow cap (reading the shared
-/// best-so-far bound), `apply` consumes the flow value. The best-so-far
-/// pruning keeps results exact: the minimizing pair's bound is always above
-/// its own flow value, so that solve is never truncated.
-template <typename LimitFn, typename ApplyFn>
-void split_sweep(const Graph& g,
-                 const std::vector<std::pair<NodeId, NodeId>>& tasks,
-                 unsigned threads, LimitFn&& limit_for, ApplyFn&& apply) {
-  const Dinic prototype = make_split_prototype(g);
-  par::ThreadPool pool(threads);
-  // Chunks large enough to amortize the prototype copy, small enough to
-  // load-balance uneven solve costs.
-  const std::uint64_t chunk =
-      std::max<std::uint64_t>(1, tasks.size() / (8 * pool.size()));
-  pool.parallel_for_chunks(
-      tasks.size(), chunk, [&](std::uint64_t begin, std::uint64_t end) {
-        Dinic dinic = prototype;
-        for (std::uint64_t k = begin; k < end; ++k) {
-          auto [s, t] = tasks[k];
-          std::int64_t limit = limit_for(s, t);
-          if (limit <= 0) continue;
-          apply(split_solve(dinic, s, t, limit));
-        }
-      });
-}
-
 }  // namespace
 
 std::uint32_t max_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
   if (s == t) throw std::invalid_argument("max_disjoint_paths: s == t");
-  Dinic dinic = make_split_prototype(g);
+  Dinic dinic = detail::make_split_prototype(g);
   std::int64_t limit = std::min(g.degree(s), g.degree(t));
-  return static_cast<std::uint32_t>(split_solve(dinic, s, t, limit + 1));
+  return static_cast<std::uint32_t>(
+      detail::split_solve(dinic, s, t, limit + 1));
 }
 
 std::uint32_t vertex_connectivity(const Graph& g, unsigned threads) {
-  HBNET_DCHECK_OK(check::validate(g));
-  const NodeId n = g.num_nodes();
-  if (n <= 1) return 0;
-  auto [min_deg, max_deg] = g.degree_range();
-  (void)max_deg;
-  // Fix v0 of minimum degree. A minimum vertex cut C (|C| <= min_deg) leaves
-  // at least one vertex of {v0} union N(v0) outside C: if v0 in C, then not
-  // all of N(v0) fits in C \ {v0} (|C|-1 < min_deg <= deg(v0)). For a source
-  // s outside C, every vertex t of another component of G - C is
-  // non-adjacent to s, and kappa(s,t) = |C|. So scanning all non-neighbors
-  // of each source in {v0} union N(v0) finds the minimum cut exactly.
-  NodeId v0 = 0;
-  for (NodeId v = 1; v < n; ++v) {
-    if (g.degree(v) < g.degree(v0)) v0 = v;
-  }
-  std::vector<NodeId> sources{v0};
-  for (NodeId u : g.neighbors(v0)) sources.push_back(u);
-  std::vector<std::pair<NodeId, NodeId>> tasks;
-  tasks.reserve(static_cast<std::size_t>(sources.size()) * n);
-  for (NodeId s : sources) {
-    for (NodeId t = 0; t < n; ++t) {
-      if (t == s || g.has_edge(s, t)) continue;
-      tasks.emplace_back(s, t);
-    }
-  }
-  std::atomic<std::uint32_t> kappa{min_deg};
-  split_sweep(
-      g, tasks, threads,
-      [&](NodeId s, NodeId t) -> std::int64_t {
-        // flow <= min(deg s, deg t) always; the running bound prunes the
-        // augmentation the moment a pair cannot improve the minimum.
-        std::uint32_t cap = std::min(
-            {g.degree(s), g.degree(t), kappa.load(std::memory_order_relaxed)});
-        return static_cast<std::int64_t>(cap) + 1;
-      },
-      [&](std::int64_t flow) {
-        atomic_min(kappa, static_cast<std::uint32_t>(flow));
-      });
-  return kappa.load();
+  // The Even-Tarjan engine (graph/connectivity_sweep.hpp): source-set
+  // reduction to kappa+1 sources, structural pruning, per-worker network
+  // reuse. Exact for every graph and identical for every thread count.
+  return vertex_connectivity_even_tarjan(g, threads);
 }
 
 bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
@@ -145,6 +47,7 @@ bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
                                       unsigned threads) {
   if (g.num_nodes() < 2) return false;
   if (target == 0 || pairs == 0) return true;
+  HBNET_DCHECK_OK(check::validate(g));
   // Draw the pair list up front with the exact serial sequence, then fan the
   // flow solves out over the pool.
   std::mt19937_64 rng(seed);
@@ -157,17 +60,25 @@ bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
     while (t == s) t = pick(rng);
     tasks.emplace_back(s, t);
   }
+  const Dinic prototype = detail::make_split_prototype(g);
+  par::ThreadPool pool(threads);
+  std::vector<Dinic> nets(pool.size(), prototype);
   std::atomic<bool> all_ok{true};
-  split_sweep(
-      g, tasks, threads,
-      [&](NodeId, NodeId) -> std::int64_t {
-        // flow >= target is all we need to know; once any pair failed the
-        // remaining solves are skipped entirely (limit 0).
-        return all_ok.load(std::memory_order_relaxed) ? target : 0;
-      },
-      [&](std::int64_t flow) {
-        if (flow < static_cast<std::int64_t>(target)) {
-          all_ok.store(false, std::memory_order_relaxed);
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, tasks.size() / (8 * pool.size()));
+  pool.parallel_for_chunks(
+      tasks.size(), chunk,
+      [&](unsigned worker, std::uint64_t begin, std::uint64_t end) {
+        Dinic& dinic = nets[worker];
+        for (std::uint64_t k = begin; k < end; ++k) {
+          // flow >= target is all we need to know; once any pair failed
+          // the remaining solves are skipped entirely.
+          if (!all_ok.load(std::memory_order_relaxed)) return;
+          auto [s, t] = tasks[k];
+          if (detail::split_solve(dinic, s, t, target) <
+              static_cast<std::int64_t>(target)) {
+            all_ok.store(false, std::memory_order_relaxed);
+          }
         }
       });
   return all_ok.load();
@@ -179,8 +90,9 @@ std::uint32_t edge_connectivity(const Graph& g, unsigned threads) {
   if (n <= 1) return 0;
   // lambda(G) = min over t != 0 of max-flow(0, t) on the un-split network.
   // The network is identical for every target, so it is built exactly once
-  // and cleared with reset() between solves (each chunk clones it).
+  // and cleared with reset() between solves (one clone per worker).
   Dinic prototype(n);
+  prototype.reserve_arcs(2 * g.num_edges());
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v : g.neighbors(u)) {
       if (u < v) {
@@ -191,11 +103,13 @@ std::uint32_t edge_connectivity(const Graph& g, unsigned threads) {
   }
   std::atomic<std::uint32_t> lambda{g.degree(0)};
   par::ThreadPool pool(threads);
+  std::vector<Dinic> nets(pool.size(), prototype);
   const std::uint64_t chunk =
       std::max<std::uint64_t>(1, (n - 1) / (8 * pool.size()));
   pool.parallel_for_chunks(
-      n - 1, chunk, [&](std::uint64_t begin, std::uint64_t end) {
-        Dinic dinic = prototype;
+      n - 1, chunk,
+      [&](unsigned worker, std::uint64_t begin, std::uint64_t end) {
+        Dinic& dinic = nets[worker];
         for (std::uint64_t k = begin; k < end; ++k) {
           const NodeId t = static_cast<NodeId>(k + 1);
           const std::int64_t limit =

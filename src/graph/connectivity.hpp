@@ -20,14 +20,16 @@ namespace hbnet {
 
 /// Exact vertex connectivity kappa(G).
 ///
-/// Uses the standard reduction: kappa = min over (v0, non-neighbors of v0)
-/// and pairs of neighbors, of local connectivity; bounded by min degree.
-/// Cost: O(min_degree + deg(v0)) max-flow runs, distributed over a
-/// hbnet::par thread pool (`threads`; 0 = par::default_threads()) with a
-/// shared atomic best-so-far bound pruning every solve's flow limit. The
-/// result is exact and identical for every thread count: the minimizing
-/// pair's bound always exceeds its own flow value, so that solve is never
-/// truncated, and min-reduction is order independent.
+/// Delegates to the Even-Tarjan engine (graph/connectivity_sweep.hpp):
+/// at most kappa(G)+1 sources are scanned against their non-neighbors (the
+/// source set re-shrinks as the best cut bound drops), pairs whose local
+/// connectivity provably reaches the bound are pruned without flow work,
+/// and one vertex-split Dinic network is built for the whole run and
+/// reused (cloned per pool worker, restored with reset() between solves).
+/// Distributed over a hbnet::par thread pool (`threads`; 0 =
+/// par::default_threads()); the result is exact and identical for every
+/// thread count. For checkpointed long runs, schedule options, and
+/// instrumentation use ConnectivitySweep directly.
 [[nodiscard]] std::uint32_t vertex_connectivity(const Graph& g,
                                                 unsigned threads = 0);
 

@@ -1,0 +1,404 @@
+#include "graph/connectivity_sweep.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "check/check.hpp"
+#include "check/validate.hpp"
+#include "obs/metrics.hpp"
+#include "par/pool.hpp"
+
+namespace hbnet {
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max() / 2;
+
+/// Per-worker accumulator for one block: merged on the caller thread with
+/// commutative operations only (sum, min, histogram bucket addition), so
+/// the merged result is identical for every thread count and schedule.
+struct BlockTally {
+  std::uint64_t solves = 0;
+  std::uint64_t pruned = 0;
+  std::uint32_t min_flow = std::numeric_limits<std::uint32_t>::max();
+  obs::Histogram flows;
+};
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (unsigned byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+}
+
+}  // namespace
+
+namespace detail {
+
+Dinic make_split_prototype(const Graph& g) {
+  Dinic dinic(2 * g.num_nodes());
+  dinic.reserve_arcs(g.num_nodes() + 2 * g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    dinic.add_arc(2 * v, 2 * v + 1, 1);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      dinic.add_arc(2 * u + 1, 2 * v, 1);  // each direction added once
+    }
+  }
+  return dinic;
+}
+
+std::int64_t split_solve(Dinic& dinic, NodeId s, NodeId t,
+                         std::int64_t limit) {
+  dinic.set_arc_capacity(2 * s, kInf);
+  dinic.set_arc_capacity(2 * t, kInf);
+  std::int64_t flow = dinic.max_flow(2 * s + 1, 2 * t, limit);
+  dinic.set_arc_capacity(2 * s, 1);
+  dinic.set_arc_capacity(2 * t, 1);
+  dinic.reset();
+  return flow;
+}
+
+std::uint32_t common_neighbors_at_least(const Graph& g, NodeId s, NodeId t,
+                                        std::uint32_t cap) {
+  const std::span<const NodeId> a = g.neighbors(s);
+  const std::span<const NodeId> b = g.neighbors(t);
+  std::uint32_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      if (++count >= cap) return count;
+      ++i, ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace detail
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  fnv_mix(h, g.num_nodes());
+  for (std::uint64_t o : g.row_offsets()) fnv_mix(h, o);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId u : g.neighbors(v)) fnv_mix(h, u);
+  }
+  return h;
+}
+
+std::string serialize_checkpoint(const SweepState& st) {
+  char fp[17];
+  std::snprintf(fp, sizeof fp, "%016" PRIx64, st.fingerprint);
+  std::ostringstream os;
+  os << "hbnet-connectivity-checkpoint v" << st.version << '\n'
+     << "graph nodes=" << st.num_nodes << " edges=" << st.num_edges
+     << " fp=" << fp << '\n'
+     << "schedule " << (st.single_source ? "single-source" : "even-tarjan")
+     << " block=" << st.block_size << '\n'
+     << "progress stages=" << st.stages_done << " blocks=" << st.blocks_done
+     << " bound=" << st.bound << '\n'
+     << "work solves=" << st.solves << " pruned=" << st.pruned << '\n'
+     << "complete " << (st.complete ? 1 : 0) << '\n';
+  return os.str();
+}
+
+std::optional<SweepState> parse_checkpoint(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  SweepState st;
+
+  if (!std::getline(is, line) ||
+      line != "hbnet-connectivity-checkpoint v1") {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(),
+                  "graph nodes=%" SCNu32 " edges=%" SCNu64 " fp=%" SCNx64,
+                  &st.num_nodes, &st.num_edges, &st.fingerprint) != 3) {
+    return std::nullopt;
+  }
+  char schedule[32] = {0};
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "schedule %31s block=%" SCNu32, schedule,
+                  &st.block_size) != 2) {
+    return std::nullopt;
+  }
+  const std::string sched = schedule;
+  if (sched == "single-source") {
+    st.single_source = true;
+  } else if (sched != "even-tarjan") {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(),
+                  "progress stages=%" SCNu32 " blocks=%" SCNu32
+                  " bound=%" SCNu32,
+                  &st.stages_done, &st.blocks_done, &st.bound) != 3) {
+    return std::nullopt;
+  }
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "work solves=%" SCNu64 " pruned=%" SCNu64,
+                  &st.solves, &st.pruned) != 2) {
+    return std::nullopt;
+  }
+  int complete = -1;
+  if (!std::getline(is, line) ||
+      std::sscanf(line.c_str(), "complete %d", &complete) != 1 ||
+      (complete != 0 && complete != 1)) {
+    return std::nullopt;
+  }
+  st.complete = complete == 1;
+  // Anything after the complete line is not ours; reject it.
+  if (std::getline(is, line) && !line.empty()) return std::nullopt;
+  return st;
+}
+
+bool save_checkpoint(const std::string& path, const SweepState& st) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os << serialize_checkpoint(st);
+    os.flush();
+    if (!os) return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::optional<SweepState> load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_checkpoint(buf.str());
+}
+
+ConnectivitySweep::ConnectivitySweep(const Graph& g, SweepOptions opts)
+    : g_(g), opts_(std::move(opts)) {
+  HBNET_DCHECK_OK(check::validate(g_));
+  if (opts_.block_size == 0) opts_.block_size = 256;
+  const NodeId n = g_.num_nodes();
+  state_.num_nodes = n;
+  state_.num_edges = g_.num_edges();
+  state_.fingerprint = graph_fingerprint(g_);
+  state_.single_source = opts_.vertex_transitive;
+  state_.block_size = opts_.block_size;
+  if (n <= 1) {
+    state_.complete = true;  // kappa of the empty/singleton graph is 0
+    return;
+  }
+  auto [min_deg, max_deg] = g_.degree_range();
+  (void)max_deg;
+  state_.bound = min_deg;
+  if (opts_.vertex_transitive) {
+    // Regularity is a necessary condition for vertex transitivity; the
+    // caller vouches for the rest (the single-source schedule is only exact
+    // on vertex-transitive graphs).
+    HBNET_DCHECK_MSG(g_.is_regular(),
+                     "single-source schedule on a non-regular graph");
+  }
+  // Deterministic schedule: all vertices, (degree, id) ascending. Low
+  // degree first both seeds the bound well and keeps the split networks'
+  // terminal widening cheap.
+  source_order_.resize(n);
+  std::iota(source_order_.begin(), source_order_.end(), NodeId{0});
+  std::sort(source_order_.begin(), source_order_.end(),
+            [&](NodeId a, NodeId b) {
+              return std::make_pair(g_.degree(a), a) <
+                     std::make_pair(g_.degree(b), b);
+            });
+  if (!opts_.checkpoint_path.empty()) {
+    if (std::optional<SweepState> loaded =
+            load_checkpoint(opts_.checkpoint_path)) {
+      std::string err = check::validate(*loaded, g_);
+      if (err.empty() && loaded->single_source != state_.single_source) {
+        err = "checkpoint schedule mismatch (single-source vs even-tarjan)";
+      }
+      if (err.empty() && loaded->block_size != state_.block_size) {
+        err = "checkpoint block size mismatch";
+      }
+      if (err.empty()) {
+        state_ = *loaded;
+        resumed_ = true;
+      } else {
+        resume_note_ = err;
+      }
+    }
+  }
+}
+
+std::uint32_t ConnectivitySweep::sources_needed() const {
+  // Any bound+1 distinct fully-scanned sources prove the bound exact (one
+  // of them avoids the minimum cut); a vertex-transitive graph needs one.
+  return opts_.vertex_transitive ? 1 : state_.bound + 1;
+}
+
+ExactConnectivityResult ConnectivitySweep::run() {
+  const NodeId n = g_.num_nodes();
+  auto result_from_state = [&] {
+    ExactConnectivityResult r;
+    r.kappa = state_.bound;
+    r.complete = state_.complete;
+    r.stages = state_.stages_done;
+    r.solves = state_.solves;
+    r.pruned = state_.pruned;
+    return r;
+  };
+  auto persist = [&](std::uint32_t stage_blocks) {
+    HBNET_DCHECK_OK(check::validate(state_));
+    if (!opts_.checkpoint_path.empty() &&
+        !save_checkpoint(opts_.checkpoint_path, state_)) {
+      throw std::runtime_error("cannot write checkpoint " +
+                               opts_.checkpoint_path);
+    }
+    if (opts_.on_block) opts_.on_block(state_, stage_blocks);
+  };
+
+  if (state_.complete) return result_from_state();
+
+  par::ThreadPool pool(opts_.threads);
+  // One split network per worker for the entire run: the prototype is
+  // built once, cloned size() times, and every solve restores its clone
+  // with reset() -- no construction or allocation inside the sweep.
+  const Dinic prototype = detail::make_split_prototype(g_);
+  std::vector<Dinic> nets(pool.size(), prototype);
+  std::vector<BlockTally> tallies(pool.size());
+
+  std::uint64_t blocks_this_run = 0;
+  while (!state_.complete) {
+    if (state_.stages_done >= sources_needed()) {
+      state_.complete = true;
+      persist(0);
+      break;
+    }
+    const NodeId s = source_order_[state_.stages_done];
+    // Targets: every non-neighbor of s, ascending (merge walk against the
+    // sorted adjacency).
+    std::vector<NodeId> targets;
+    targets.reserve(n - 1 - g_.degree(s));
+    {
+      const std::span<const NodeId> nb = g_.neighbors(s);
+      std::size_t j = 0;
+      for (NodeId t = 0; t < n; ++t) {
+        if (t == s) continue;
+        while (j < nb.size() && nb[j] < t) ++j;
+        if (j < nb.size() && nb[j] == t) continue;
+        targets.push_back(t);
+      }
+    }
+    const std::uint32_t num_blocks = static_cast<std::uint32_t>(
+        (targets.size() + opts_.block_size - 1) / opts_.block_size);
+    if (num_blocks == 0) {
+      // No non-neighbor at all (s is adjacent to everything): the stage is
+      // vacuously complete.
+      ++state_.stages_done;
+      state_.blocks_done = 0;
+      persist(0);
+      continue;
+    }
+    bool stopped = false;
+    for (std::uint32_t b = state_.blocks_done; b < num_blocks; ++b) {
+      if (opts_.max_blocks != 0 && blocks_this_run >= opts_.max_blocks) {
+        stopped = true;
+        break;
+      }
+      // The bound frozen at block start drives pruning AND flow limits:
+      // both therefore depend only on the schedule position, never on the
+      // race between workers, which keeps solve counts, flow histograms
+      // and checkpoint bytes thread-count invariant. Freezing is exact:
+      // the frozen bound is always >= kappa, so the decisive solve (source
+      // outside the minimum cut, target across it) is never pruned and
+      // never truncated below its true flow.
+      const std::uint32_t block_bound = state_.bound;
+      const std::uint64_t begin = std::uint64_t{b} * opts_.block_size;
+      const std::uint64_t end =
+          std::min<std::uint64_t>(targets.size(), begin + opts_.block_size);
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(1, (end - begin) / (8 * pool.size()));
+      for (BlockTally& tally : tallies) tally = BlockTally{};
+      pool.parallel_for_chunks(
+          end - begin, chunk,
+          [&](unsigned worker, std::uint64_t lo, std::uint64_t hi) {
+            BlockTally& tally = tallies[worker];
+            Dinic& net = nets[worker];
+            for (std::uint64_t k = lo; k < hi; ++k) {
+              const NodeId t = targets[begin + k];
+              const std::uint32_t ds = g_.degree(s), dt = g_.degree(t);
+              // kappa(s,t) >= |N(s) cap N(t)| (disjoint length-2 paths);
+              // pigeonhole gives |N(s) cap N(t)| >= ds + dt - (n-2) for
+              // free, the merge count is exact up to block_bound.
+              std::uint32_t lb;
+              if (std::uint64_t{ds} + dt >=
+                  std::uint64_t{n} - 2 + block_bound) {
+                lb = block_bound;
+              } else {
+                lb = detail::common_neighbors_at_least(g_, s, t, block_bound);
+              }
+              if (lb >= block_bound) {
+                ++tally.pruned;
+                continue;
+              }
+              const std::int64_t limit =
+                  std::int64_t{std::min({ds, dt, block_bound})} + 1;
+              const std::int64_t flow = detail::split_solve(net, s, t, limit);
+              ++tally.solves;
+              tally.flows.record(static_cast<std::uint64_t>(flow));
+              tally.min_flow = std::min(tally.min_flow,
+                                        static_cast<std::uint32_t>(flow));
+            }
+          });
+      std::uint64_t solves = 0, pruned = 0;
+      std::uint32_t block_min = std::numeric_limits<std::uint32_t>::max();
+      for (const BlockTally& tally : tallies) {
+        solves += tally.solves;
+        pruned += tally.pruned;
+        block_min = std::min(block_min, tally.min_flow);
+      }
+      state_.bound = std::min(state_.bound, block_min);
+      state_.solves += solves;
+      state_.pruned += pruned;
+      ++blocks_this_run;
+      if (b + 1 == num_blocks) {  // normalized stage rollover
+        ++state_.stages_done;
+        state_.blocks_done = 0;
+      } else {
+        state_.blocks_done = b + 1;
+      }
+      if (opts_.metrics != nullptr) {
+        obs::MetricsRegistry& m = *opts_.metrics;
+        m.counter("connectivity.solves").inc(solves);
+        m.counter("connectivity.pruned").inc(pruned);
+        m.counter("connectivity.blocks").inc();
+        if (b + 1 == num_blocks) m.counter("connectivity.stages").inc();
+        m.gauge("connectivity.bound").set(state_.bound);
+        for (const BlockTally& tally : tallies) {
+          m.histogram("connectivity.flow").merge(tally.flows);
+        }
+      }
+      persist(num_blocks);
+    }
+    if (stopped) break;
+  }
+  return result_from_state();
+}
+
+std::uint32_t vertex_connectivity_even_tarjan(const Graph& g,
+                                              unsigned threads) {
+  SweepOptions opts;
+  opts.threads = threads;
+  ConnectivitySweep sweep(g, std::move(opts));
+  return sweep.run().kappa;
+}
+
+}  // namespace hbnet

@@ -2,6 +2,7 @@
 // callers can decompose the final flow into vertex-disjoint paths.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,14 @@ class Dinic {
   /// residual twin. Returns the arc index (twin is index^1).
   std::uint32_t add_arc(std::uint32_t from, std::uint32_t to,
                         std::int32_t capacity);
+
+  /// Pre-sizes the arc store for `arcs` add_arc calls (2 entries each), so
+  /// prototype builders that know the arc count up front avoid the
+  /// re-allocation churn of incremental push_back.
+  void reserve_arcs(std::size_t arcs) { arcs_.reserve(2 * arcs); }
+
+  /// Number of arcs added with add_arc (residual twins not counted).
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size() / 2; }
 
   /// Max flow from s to t, stopping early once flow >= limit.
   std::int64_t max_flow(std::uint32_t s, std::uint32_t t, std::int64_t limit);

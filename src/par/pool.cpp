@@ -40,7 +40,7 @@ ThreadPool::ThreadPool(unsigned threads)
     : threads_(resolve_threads(threads)) {
   workers_.reserve(threads_ - 1);
   for (unsigned t = 1; t < threads_; ++t) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t); });
   }
 }
 
@@ -53,17 +53,21 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::run_job(Job& job) {
+void ThreadPool::run_job(Job& job, unsigned worker) {
   while (true) {
     const std::uint64_t begin =
         job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
     if (begin >= job.count) return;
     const std::uint64_t end = std::min(begin + job.chunk, job.count);
-    (*job.body)(begin, end);
+    if (job.body != nullptr) {
+      (*job.body)(begin, end);
+    } else {
+      (*job.worker_body)(worker, begin, end);
+    }
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   while (true) {
     Job* job = nullptr;
@@ -74,7 +78,7 @@ void ThreadPool::worker_loop() {
       seen = generation_;
       job = job_;
     }
-    run_job(*job);
+    run_job(*job, worker);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (++job->acked == static_cast<unsigned>(workers_.size())) {
@@ -84,31 +88,21 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for_chunks(
-    std::uint64_t count, std::uint64_t chunk,
-    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
-  if (count == 0) return;
-  if (chunk == 0) chunk = 1;
-  if (workers_.empty() || count <= chunk) {
-    // Serial fast path: nothing to distribute.
-    Job job;
-    job.body = &body;
-    job.count = count;
-    job.chunk = chunk;
-    run_job(job);
+void ThreadPool::dispatch(Job& job) {
+  if (job.count == 0) return;
+  if (job.chunk == 0) job.chunk = 1;
+  if (workers_.empty() || job.count <= job.chunk) {
+    // Serial fast path: nothing to distribute; the caller is worker 0.
+    run_job(job, 0);
     return;
   }
-  Job job;
-  job.body = &body;
-  job.count = count;
-  job.chunk = chunk;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &job;
     ++generation_;
   }
   wake_cv_.notify_all();
-  run_job(job);  // the caller is a worker too
+  run_job(job, 0);  // the caller is a worker too
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] {
@@ -116,6 +110,26 @@ void ThreadPool::parallel_for_chunks(
     });
     job_ = nullptr;
   }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::uint64_t count, std::uint64_t chunk,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  Job job;
+  job.body = &body;
+  job.count = count;
+  job.chunk = chunk;
+  dispatch(job);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::uint64_t count, std::uint64_t chunk,
+    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>& body) {
+  Job job;
+  job.worker_body = &body;
+  job.count = count;
+  job.chunk = chunk;
+  dispatch(job);
 }
 
 void ThreadPool::parallel_for(std::uint64_t count,

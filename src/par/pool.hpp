@@ -67,6 +67,17 @@ class ThreadPool {
                            const std::function<void(std::uint64_t,
                                                     std::uint64_t)>& body);
 
+  /// Like parallel_for_chunks, but body additionally receives the stable
+  /// worker index in [0, size()) of the thread running the chunk (the caller
+  /// is worker 0). Lets sweep callers keep per-worker scratch -- e.g. one
+  /// cloned flow network per worker that persists across many calls --
+  /// instead of re-initializing it per chunk. Which chunks land on which
+  /// worker is scheduling dependent, so per-worker state must stay
+  /// order-independent for the determinism contract to hold.
+  void parallel_for_chunks(std::uint64_t count, std::uint64_t chunk,
+                           const std::function<void(unsigned, std::uint64_t,
+                                                    std::uint64_t)>& body);
+
   /// Runs fn(i) for every i in [0, count); convenience over
   /// parallel_for_chunks with auto chunking (~4 chunks per worker minimum,
   /// single indices once counts are small).
@@ -75,15 +86,19 @@ class ThreadPool {
 
  private:
   struct Job {
+    // Exactly one of the two bodies is set per job.
     const std::function<void(std::uint64_t, std::uint64_t)>* body = nullptr;
+    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>*
+        worker_body = nullptr;
     std::uint64_t count = 0;
     std::uint64_t chunk = 1;
     std::atomic<std::uint64_t> cursor{0};
     unsigned acked = 0;  // workers done with this job (guarded by mu_)
   };
 
-  void worker_loop();
-  static void run_job(Job& job);
+  void worker_loop(unsigned worker);
+  void dispatch(Job& job);
+  static void run_job(Job& job, unsigned worker);
 
   std::vector<std::thread> workers_;
   unsigned threads_ = 1;

@@ -1,0 +1,338 @@
+// The Even-Tarjan connectivity engine (graph/connectivity_sweep.hpp):
+// brute-force cross-checks against the all-pairs max_disjoint_paths
+// minimum, the thread-count determinism contract (identical kappa AND
+// byte-identical checkpoints), kill/resume equivalence, checkpoint format
+// round-trips, and the SweepState validators.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/validate.hpp"
+#include "core/hyper_butterfly.hpp"
+#include "graph/builder.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/connectivity_sweep.hpp"
+#include "obs/metrics.hpp"
+#include "topology/hypercube.hpp"
+
+namespace hbnet {
+namespace {
+
+const unsigned kThreadCounts[] = {1, 2, 8};
+
+Graph random_graph(NodeId n, double p, std::uint64_t seed, bool connected) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  GraphBuilder b(n);
+  if (connected) {
+    for (NodeId u = 1; u < n; ++u) {
+      b.add_edge(u, std::uniform_int_distribution<NodeId>(0, u - 1)(rng));
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (coin(rng) < p) b.add_edge(u, v);
+    }
+  }
+  return b.build();
+}
+
+/// Whitney reference: kappa(G) is the minimum of max_disjoint_paths over
+/// *all* pairs (adjacent pairs included -- they dominate only on complete
+/// graphs, where the minimum is n-1). Intentionally quadratic.
+std::uint32_t brute_force_kappa(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::uint32_t best = n - 1;  // K_n value; callers guarantee n >= 2
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = s + 1; t < n; ++t) {
+      best = std::min(best, max_disjoint_paths(g, s, t));
+    }
+  }
+  return best;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "sweep_" + name + ".ckpt";
+}
+
+TEST(ConnectivitySweep, MatchesBruteForceOnRandomGraphs) {
+  // ~20 graphs across densities, sizes, and connectivity regimes. Every
+  // graph is checked through the public entry point (which delegates to the
+  // engine) so the whole stack is exercised.
+  std::uint64_t seed = 1;
+  for (NodeId n : {4, 6, 9, 12}) {
+    for (double p : {0.1, 0.3, 0.6, 0.9}) {
+      Graph g = random_graph(n, p, seed++, /*connected=*/true);
+      EXPECT_EQ(vertex_connectivity(g), brute_force_kappa(g))
+          << "n=" << n << " p=" << p;
+    }
+  }
+  for (NodeId n : {5, 8, 11}) {
+    // No spanning tree: disconnected graphs (kappa = 0) are likely.
+    Graph g = random_graph(n, 0.25, seed++, /*connected=*/false);
+    EXPECT_EQ(vertex_connectivity(g), brute_force_kappa(g)) << "n=" << n;
+  }
+}
+
+TEST(ConnectivitySweep, EdgeCaseGraphs) {
+  {  // Two components: kappa = 0.
+    GraphBuilder b(6);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(3, 4);
+    b.add_edge(4, 5);
+    EXPECT_EQ(vertex_connectivity(b.build()), 0u);
+  }
+  {  // Complete K_5: every pair adjacent, kappa = n-1 = 4.
+    Graph g = random_graph(5, 1.1, 7, false);
+    EXPECT_EQ(vertex_connectivity(g), 4u);
+    EXPECT_EQ(brute_force_kappa(g), 4u);
+  }
+  {  // Star K_{1,4}: the hub is a 1-cut; every leaf pair is non-adjacent.
+    GraphBuilder b(5);
+    for (NodeId leaf = 1; leaf < 5; ++leaf) b.add_edge(0, leaf);
+    EXPECT_EQ(vertex_connectivity(b.build()), 1u);
+  }
+  {  // Path P_4: adjacent pairs coexist with distance-3 pairs.
+    GraphBuilder b(4);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 3);
+    EXPECT_EQ(vertex_connectivity(b.build()), 1u);
+  }
+  {  // Single vertex and single edge.
+    EXPECT_EQ(vertex_connectivity(GraphBuilder(1).build()), 0u);
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    EXPECT_EQ(vertex_connectivity(b.build()), 1u);
+  }
+}
+
+TEST(ConnectivitySweep, SingleSourceScheduleMatchesGenericOnCayleyGraphs) {
+  // The vertex-transitive fast path must agree with the generic schedule
+  // (and hence with brute force) on graphs that really are transitive.
+  for (auto [m, n] : {std::pair<unsigned, unsigned>{1, 3}, {2, 3}}) {
+    Graph g = HyperButterfly(m, n).to_graph();
+    SweepOptions opts;
+    opts.vertex_transitive = true;
+    ConnectivitySweep sweep(g, opts);
+    ExactConnectivityResult r = sweep.run();
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.kappa, m + 4);
+    EXPECT_EQ(r.stages, 1u);
+    EXPECT_EQ(r.kappa, vertex_connectivity(g));
+  }
+  Graph q4 = Hypercube(4).to_graph();
+  SweepOptions opts;
+  opts.vertex_transitive = true;
+  EXPECT_EQ(ConnectivitySweep(q4, opts).run().kappa, 4u);
+}
+
+TEST(ConnectivitySweep, ThreadCountInvariance) {
+  // The determinism contract: kappa, every SweepState field, and the final
+  // checkpoint BYTES are identical for every thread count.
+  Graph g = HyperButterfly(2, 3).to_graph();
+  std::string reference_bytes;
+  std::uint32_t reference_kappa = 0;
+  for (unsigned threads : kThreadCounts) {
+    const std::string path =
+        temp_path("threads" + std::to_string(threads));
+    std::remove(path.c_str());
+    SweepOptions opts;
+    opts.threads = threads;
+    opts.block_size = 16;  // many blocks, so scheduling really interleaves
+    opts.checkpoint_path = path;
+    ConnectivitySweep sweep(g, opts);
+    ExactConnectivityResult r = sweep.run();
+    ASSERT_TRUE(r.complete);
+    const std::string bytes = slurp(path);
+    ASSERT_FALSE(bytes.empty());
+    if (reference_bytes.empty()) {
+      reference_bytes = bytes;
+      reference_kappa = r.kappa;
+    } else {
+      EXPECT_EQ(r.kappa, reference_kappa) << threads << " threads";
+      EXPECT_EQ(bytes, reference_bytes) << threads << " threads";
+    }
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(reference_kappa, 6u);  // kappa(HB(2,3)) = m+4
+}
+
+TEST(ConnectivitySweep, KillAndResumeIsByteIdentical) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  const std::string uninterrupted_path = temp_path("uninterrupted");
+  const std::string resumed_path = temp_path("resumed");
+  std::remove(uninterrupted_path.c_str());
+  std::remove(resumed_path.c_str());
+
+  SweepOptions base;
+  base.block_size = 8;
+
+  SweepOptions one_shot = base;
+  one_shot.checkpoint_path = uninterrupted_path;
+  ExactConnectivityResult full = ConnectivitySweep(g, one_shot).run();
+  ASSERT_TRUE(full.complete);
+
+  // "Kill" the run after every single block: each iteration constructs a
+  // fresh sweep that must adopt the on-disk state and advance one block.
+  ExactConnectivityResult step;
+  int runs = 0;
+  for (; runs < 1000; ++runs) {
+    SweepOptions opts = base;
+    opts.checkpoint_path = resumed_path;
+    opts.max_blocks = 1;
+    ConnectivitySweep sweep(g, opts);
+    if (runs > 0) {
+      EXPECT_TRUE(sweep.resumed()) << sweep.resume_note();
+    }
+    step = sweep.run();
+    if (step.complete) break;
+  }
+  ASSERT_TRUE(step.complete) << "no convergence after " << runs << " runs";
+  EXPECT_GT(runs, 0) << "max_blocks=1 should not finish in one run here";
+  EXPECT_EQ(step.kappa, full.kappa);
+  EXPECT_EQ(slurp(resumed_path), slurp(uninterrupted_path));
+  std::remove(uninterrupted_path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+TEST(ConnectivitySweep, CheckpointRoundTripAndRejection) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  SweepState st;
+  st.num_nodes = g.num_nodes();
+  st.num_edges = g.num_edges();
+  st.fingerprint = graph_fingerprint(g);
+  st.block_size = 64;
+  st.stages_done = 2;
+  st.blocks_done = 1;
+  st.bound = 5;
+  st.solves = 37;
+  st.pruned = 4;
+
+  const std::string text = serialize_checkpoint(st);
+  std::optional<SweepState> back = parse_checkpoint(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_nodes, st.num_nodes);
+  EXPECT_EQ(back->num_edges, st.num_edges);
+  EXPECT_EQ(back->fingerprint, st.fingerprint);
+  EXPECT_EQ(back->single_source, st.single_source);
+  EXPECT_EQ(back->block_size, st.block_size);
+  EXPECT_EQ(back->stages_done, st.stages_done);
+  EXPECT_EQ(back->blocks_done, st.blocks_done);
+  EXPECT_EQ(back->bound, st.bound);
+  EXPECT_EQ(back->solves, st.solves);
+  EXPECT_EQ(back->pruned, st.pruned);
+  EXPECT_EQ(back->complete, st.complete);
+  EXPECT_EQ(serialize_checkpoint(*back), text);
+
+  EXPECT_FALSE(parse_checkpoint("").has_value());
+  EXPECT_FALSE(parse_checkpoint("not a checkpoint").has_value());
+  EXPECT_FALSE(parse_checkpoint(text + "trailing garbage").has_value());
+  {
+    std::string wrong_version = text;
+    wrong_version.replace(wrong_version.find("v1"), 2, "v9");
+    EXPECT_FALSE(parse_checkpoint(wrong_version).has_value());
+  }
+  {
+    std::string bad_schedule = text;
+    const auto at = bad_schedule.find("even-tarjan");
+    ASSERT_NE(at, std::string::npos);
+    bad_schedule.replace(at, 11, "round-robin");
+    EXPECT_FALSE(parse_checkpoint(bad_schedule).has_value());
+  }
+
+  // save/load round trip through a real file.
+  const std::string path = temp_path("roundtrip");
+  ASSERT_TRUE(save_checkpoint(path, st));
+  std::optional<SweepState> loaded = load_checkpoint(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(serialize_checkpoint(*loaded), text);
+  EXPECT_FALSE(load_checkpoint(path + ".missing").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ConnectivitySweep, IncompatibleCheckpointRestartsInsteadOfResuming) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  const std::string path = temp_path("mismatch");
+
+  // A checkpoint from a *different* graph: same file, wrong fingerprint.
+  Graph other = Hypercube(4).to_graph();
+  SweepState foreign;
+  foreign.num_nodes = other.num_nodes();
+  foreign.num_edges = other.num_edges();
+  foreign.fingerprint = graph_fingerprint(other);
+  foreign.block_size = 256;
+  ASSERT_TRUE(save_checkpoint(path, foreign));
+
+  SweepOptions opts;
+  opts.checkpoint_path = path;
+  ConnectivitySweep sweep(g, opts);
+  EXPECT_FALSE(sweep.resumed());
+  EXPECT_FALSE(sweep.resume_note().empty());
+  ExactConnectivityResult r = sweep.run();  // restarts from scratch
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.kappa, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(ConnectivitySweep, MetricsAreRecorded) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  obs::MetricsRegistry metrics;
+  SweepOptions opts;
+  opts.metrics = &metrics;
+  ExactConnectivityResult r = ConnectivitySweep(g, opts).run();
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(metrics.counter("connectivity.solves").value(), r.solves);
+  EXPECT_EQ(metrics.counter("connectivity.pruned").value(), r.pruned);
+  EXPECT_EQ(metrics.gauge("connectivity.bound").value(), r.kappa);
+  ASSERT_NE(metrics.find_histogram("connectivity.flow"), nullptr);
+  EXPECT_EQ(metrics.find_histogram("connectivity.flow")->count(), r.solves);
+}
+
+TEST(ConnectivitySweep, ValidatorAcceptsEngineStatesAndRejectsCorruption) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  SweepOptions opts;
+  ConnectivitySweep sweep(g, opts);
+  ExactConnectivityResult r = sweep.run();
+  ASSERT_TRUE(r.complete);
+  const SweepState good = sweep.state();
+  EXPECT_EQ(check::validate(good), "");
+  EXPECT_EQ(check::validate(good, g), "");
+
+  SweepState bad = good;
+  bad.version = 99;
+  EXPECT_NE(check::validate(bad), "");
+
+  bad = good;
+  bad.block_size = 0;
+  EXPECT_NE(check::validate(bad), "");
+
+  bad = good;
+  bad.bound = bad.num_nodes;  // exceeds the trivial n-1 bound
+  EXPECT_NE(check::validate(bad), "");
+
+  bad = good;
+  bad.blocks_done = 3;  // complete state sitting mid-stage
+  EXPECT_NE(check::validate(bad), "");
+
+  bad = good;
+  bad.fingerprint ^= 1;
+  EXPECT_EQ(check::validate(bad), "");  // shape-only checks still pass
+  EXPECT_NE(check::validate(bad, g), "");  // graph identity does not
+}
+
+}  // namespace
+}  // namespace hbnet

@@ -7,6 +7,9 @@
 #                               off/on)
 #   BENCH_connectivity.json  -- BM_*Connectivity* including the 1/2/4-thread
 #                               scaling runs of the parallel analysis engine
+#                               and BM_VertexConnectivityEvenTarjan (the
+#                               single-source checkpointed sweep engine on
+#                               HB(2,3) and HB(3,3))
 #
 # Usage: tools/bench_json.sh [build-dir] [output-dir]
 # Defaults: build-dir = build, output-dir = current directory.

@@ -12,6 +12,8 @@
 //   hbnet_cli cuts <m> <n>
 //   hbnet_cli election <m> <n>
 //   hbnet_cli analyze <m> <n> [--threads N] [--audit]
+//   hbnet_cli analyze <m> <n> --exact-connectivity [--checkpoint FILE]
+//                             [--threads N] [--metrics-out FILE]
 //   hbnet_cli wormhole <m> <n> [sim options]
 //   hbnet_cli sim <m> <n> [sim options]
 //
@@ -19,6 +21,7 @@
 //   --pattern uniform|complement|reversal|shuffle|hotspot
 //   --policy any|dateline|segment (wormhole) --valiant (sim) --seed S
 //   --threads N --trace-out FILE --metrics-out FILE --links-csv FILE
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,8 +33,10 @@
 #include "distsim/leader_election.hpp"
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
+#include "graph/connectivity_sweep.hpp"
 #include "graph/io.hpp"
 #include "graph/parallel_bfs.hpp"
+#include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "par/pool.hpp"
 #include "sim/simulator.hpp"
@@ -57,6 +62,10 @@ int usage() {
          "  analyze <m> <n> [--threads N] [--audit]\n"
          "                                 parallel structural analysis\n"
          "                                 (--audit: verify Thm 5 on all pairs)\n"
+         "  analyze <m> <n> --exact-connectivity [--checkpoint FILE]\n"
+         "                  [--threads N] [--metrics-out FILE]\n"
+         "                                 checkpointed Even-Tarjan sweep\n"
+         "                                 proving kappa(HB(m,n)) = m+4\n"
          "  wormhole <m> <n> [options]     flit-level wormhole run on HB(m,n)\n"
          "  sim <m> <n> [options]          store-and-forward run on HB(m,n)\n"
          "options for wormhole/sim:\n"
@@ -219,6 +228,76 @@ void print_node(const HyperButterfly& hb, HbNode v) {
   std::cout << "(" << v.cube << ",'" << hb.butterfly().label(v.bfly) << "')";
 }
 
+/// `analyze --exact-connectivity`: checkpointed Even-Tarjan sweep over the
+/// constructed HB(m,n) graph, single-source schedule (HB is a Cayley graph,
+/// hence vertex transitive). Exit 0 only when the proven kappa equals the
+/// Corollary-1 value m+4.
+int run_exact_connectivity(const HyperButterfly& hb,
+                           const std::string& checkpoint,
+                           const std::string& metrics_out) {
+  hbnet::Graph g = hb.to_graph();
+  hbnet::obs::MetricsRegistry metrics;
+  hbnet::par::ThreadPool probe;
+  std::cout << "exact connectivity HB(" << hb.cube_dimension() << ","
+            << hb.butterfly_dimension() << ")  " << g.num_nodes()
+            << " nodes, " << g.num_edges() << " edges  (" << probe.size()
+            << " threads)\n";
+
+  hbnet::SweepOptions opts;
+  opts.vertex_transitive = true;  // Cayley graph: single-source is exact
+  opts.checkpoint_path = checkpoint;
+  opts.metrics = &metrics;
+  opts.on_block = [](const hbnet::SweepState& st,
+                     std::uint32_t stage_blocks) {
+    std::cout << "  stage " << st.stages_done << " block " << st.blocks_done
+              << "/" << stage_blocks << "  bound " << st.bound << "  solves "
+              << st.solves << "  pruned " << st.pruned << "\n";
+  };
+  hbnet::ConnectivitySweep sweep(g, opts);
+  if (sweep.resumed()) {
+    const hbnet::SweepState& st = sweep.state();
+    std::cout << "  resumed from " << checkpoint << " at stage "
+              << st.stages_done << " block " << st.blocks_done << " (solves "
+              << st.solves << ", pruned " << st.pruned << ")\n";
+  } else if (!sweep.resume_note().empty()) {
+    std::cout << "  checkpoint not resumed: " << sweep.resume_note() << "\n";
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  hbnet::ExactConnectivityResult r = sweep.run();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      std::cerr << "cannot open " << metrics_out << "\n";
+      return 1;
+    }
+    metrics.write_json(os);
+    os << '\n';
+    std::cout << "  metrics: " << metrics_out << "\n";
+  }
+  if (!checkpoint.empty()) std::cout << "  checkpoint: " << checkpoint << "\n";
+  if (!r.complete) {
+    std::cout << "  stopped before completion (resume with the same "
+                 "--checkpoint file)\n";
+    return 1;
+  }
+  std::cout << "  kappa = " << r.kappa << "  (" << r.stages << " source"
+            << (r.stages == 1 ? "" : "s") << ", " << r.solves << " solves, "
+            << r.pruned << " pruned, " << secs << " s)\n";
+  if (r.kappa != hb.degree()) {
+    std::cerr << "FAILED: kappa " << r.kappa << " != degree " << hb.degree()
+              << " (Corollary 1)\n";
+    return 1;
+  }
+  std::cout << "  Corollary 1 verified: kappa = m+4 = " << hb.degree()
+            << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int run(int argc, char** argv) {
@@ -335,6 +414,8 @@ int run(int argc, char** argv) {
   }
   if (cmd == "analyze") {
     bool audit = false;
+    bool exact = false;
+    std::string checkpoint, metrics_out;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--threads" && i + 1 < argc) {
@@ -342,11 +423,18 @@ int run(int argc, char** argv) {
             static_cast<unsigned>(std::stoul(argv[++i])));
       } else if (a == "--audit") {
         audit = true;
+      } else if (a == "--exact-connectivity") {
+        exact = true;
+      } else if (a == "--checkpoint" && i + 1 < argc) {
+        checkpoint = argv[++i];
+      } else if (a == "--metrics-out" && i + 1 < argc) {
+        metrics_out = argv[++i];
       } else {
         std::cerr << "unknown option " << a << "\n";
         return usage();
       }
     }
+    if (exact) return run_exact_connectivity(hb, checkpoint, metrics_out);
     hbnet::par::ThreadPool probe;
     hbnet::Graph g = hb.to_graph();
     std::cout << "analyze HB(" << m << "," << n << ")  (" << probe.size()
