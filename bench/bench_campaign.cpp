@@ -1,0 +1,50 @@
+// EXT-CAMPAIGN: scaling of the deterministic fault-injection campaign
+// engine across thread counts. One fixed grid (all three fault models, two
+// fault levels, repeated trials) is swept on HB(2,4); since the result is
+// byte-identical for every thread count (the campaign determinism
+// contract), the only thing that changes with --threads is wall clock --
+// which is exactly what this benchmark measures.
+#include <benchmark/benchmark.h>
+
+#include "campaign/campaign.hpp"
+
+namespace {
+
+hbnet::campaign::CampaignConfig grid_config(unsigned threads) {
+  hbnet::campaign::CampaignConfig cfg;
+  cfg.m = 2;
+  cfg.n = 4;
+  cfg.models = {hbnet::campaign::FaultModel::kRandom,
+                hbnet::campaign::FaultModel::kAdversarial,
+                hbnet::campaign::FaultModel::kEvents};
+  cfg.rates = {0.05};
+  cfg.fault_counts = {0, 3};
+  cfg.trials = 2;
+  cfg.seed = 13;
+  cfg.sim.warmup_cycles = 50;
+  cfg.sim.measure_cycles = 200;
+  cfg.sim.drain_cycles = 5000;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void BM_Campaign(benchmark::State& state) {
+  const hbnet::campaign::CampaignConfig cfg =
+      grid_config(static_cast<unsigned>(state.range(0)));
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const hbnet::campaign::CampaignResult r =
+        hbnet::campaign::run_campaign(cfg);
+    delivered = r.metrics.find_counter("campaign.delivered")->value();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.counters["trials"] =
+      static_cast<double>(cfg.models.size() * cfg.rates.size() *
+                          cfg.fault_counts.size() * cfg.trials);
+  state.counters["delivered"] = static_cast<double>(delivered);
+}
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

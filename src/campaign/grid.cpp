@@ -1,0 +1,66 @@
+#include "campaign/grid.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+namespace hbnet::campaign {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<unsigned> parse_unsigned(std::string_view text) {
+  std::optional<std::uint64_t> v = parse_u64(text);
+  if (!v || *v > std::numeric_limits<unsigned>::max()) return std::nullopt;
+  return static_cast<unsigned>(*v);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+namespace {
+
+/// Splits on ',' and feeds every (possibly empty) piece to `parse_one`;
+/// any failure or an empty overall list poisons the result.
+template <typename T, typename ParseOne>
+std::optional<std::vector<T>> parse_list(std::string_view text,
+                                         ParseOne&& parse_one) {
+  std::vector<T> out;
+  while (true) {
+    const std::size_t comma = text.find(',');
+    const std::string_view piece = text.substr(0, comma);
+    std::optional<T> v = parse_one(piece);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+    if (comma == std::string_view::npos) break;
+    text.remove_prefix(comma + 1);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<unsigned>> parse_unsigned_list(
+    std::string_view text) {
+  return parse_list<unsigned>(text, parse_unsigned);
+}
+
+std::optional<std::vector<double>> parse_double_list(std::string_view text) {
+  return parse_list<double>(text, parse_double);
+}
+
+}  // namespace hbnet::campaign

@@ -1,0 +1,37 @@
+// Checked numeric parsing for untrusted text: CLI argv and campaign grid
+// lists.
+//
+// std::stoul/std::stod silently accept partial tokens ("4x" parses as 4)
+// and throw std::invalid_argument/std::out_of_range on garbage -- exactly
+// the failure mode that let `hbnet_cli analyze 4 x` die on an uncaught
+// exception. Every helper here parses the ENTIRE token, rejects empty
+// input, range-checks the result, and reports failure as std::nullopt --
+// never by throwing -- so callers can print usage and exit nonzero.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace hbnet::campaign {
+
+/// Non-negative decimal integer occupying the whole token.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// parse_u64 additionally range-checked to unsigned.
+[[nodiscard]] std::optional<unsigned> parse_unsigned(std::string_view text);
+
+/// Finite floating-point value occupying the whole token.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+
+/// Comma-separated list of parse_unsigned tokens ("0,2,5"); nullopt on an
+/// empty list or any malformed element.
+[[nodiscard]] std::optional<std::vector<unsigned>> parse_unsigned_list(
+    std::string_view text);
+
+/// Comma-separated list of parse_double tokens ("0.02,0.05").
+[[nodiscard]] std::optional<std::vector<double>> parse_double_list(
+    std::string_view text);
+
+}  // namespace hbnet::campaign

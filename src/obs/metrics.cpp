@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "check/check.hpp"
+
 namespace hbnet::obs {
 
 void Histogram::record_n(std::uint64_t value, std::uint64_t n) {
@@ -60,6 +62,65 @@ void Histogram::merge(const Histogram& other) {
   if (count_ == 0 || other.max_ > max_) max_ = other.max_;
   count_ += other.count_;
   sum_ += other.sum_;
+}
+
+std::string MetricsRegistry::relabel_key(const std::string& key,
+                                         const LabelSet& extra) {
+  if (extra.empty()) return key;
+  std::string tail;
+  for (const auto& [k, v] : extra) {
+    if (!tail.empty()) tail += ',';
+    tail += k;
+    tail += '=';
+    tail += v;
+  }
+  std::string out;
+  if (!key.empty() && key.back() == '}') {
+    out.assign(key, 0, key.size() - 1);
+    out += ',';
+  } else {
+    out = key;
+    out += '{';
+  }
+  out += tail;
+  out += '}';
+  return out;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other,
+                            const MergeOptions& options) {
+  HBNET_CHECK_MSG(&other != this,
+                  "MetricsRegistry::merge: source aliases target");
+  for (const auto& [key, c] : other.counters_) {
+    counters_[relabel_key(key, options.extra_labels)].inc(c.value());
+  }
+  for (const auto& [key, g] : other.gauges_) {
+    const std::string k = relabel_key(key, options.extra_labels);
+    const GaugeMerge policy =
+        options.gauge_policy ? options.gauge_policy(k) : GaugeMerge::kLast;
+    auto it = gauges_.find(k);
+    if (it == gauges_.end()) {
+      gauges_[k].set(g.value());
+      continue;
+    }
+    switch (policy) {
+      case GaugeMerge::kLast:
+        it->second.set(g.value());
+        break;
+      case GaugeMerge::kMin:
+        it->second.set(std::min(it->second.value(), g.value()));
+        break;
+      case GaugeMerge::kMax:
+        it->second.set(std::max(it->second.value(), g.value()));
+        break;
+      case GaugeMerge::kSum:
+        it->second.add(g.value());
+        break;
+    }
+  }
+  for (const auto& [key, h] : other.histograms_) {
+    histograms_[relabel_key(key, options.extra_labels)].merge(h);
+  }
 }
 
 std::string MetricsRegistry::key_of(const std::string& name,

@@ -19,6 +19,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -112,6 +113,27 @@ class Histogram {
   double sum_ = 0.0;
 };
 
+/// How MetricsRegistry::merge combines an incoming gauge with an existing
+/// value under the same key. Counters always add and histograms always
+/// merge; gauges are the one instrument whose fold is ambiguous, so the
+/// caller picks per key.
+enum class GaugeMerge {
+  kLast,  // incoming value wins (merge order defines "last")
+  kMin,   // keep the smaller value
+  kMax,   // keep the larger value (e.g. "did any trial deadlock")
+  kSum,   // accumulate
+};
+
+/// Options for MetricsRegistry::merge.
+struct MergeOptions {
+  /// Labels appended to every incoming instrument key before insertion --
+  /// how a campaign tags each trial's registry with its grid cell. Keys
+  /// already carrying labels get these appended inside the brace block.
+  LabelSet extra_labels;
+  /// Picks the gauge policy for a (relabeled) key; kLast when empty.
+  std::function<GaugeMerge(const std::string& key)> gauge_policy;
+};
+
 /// Name+label keyed collection of instruments. Addresses are stable: the
 /// maps are node-based, so references returned by counter()/gauge()/
 /// histogram() remain valid while the registry lives.
@@ -120,6 +142,21 @@ class MetricsRegistry {
   Counter& counter(const std::string& name, const LabelSet& labels = {});
   Gauge& gauge(const std::string& name, const LabelSet& labels = {});
   Histogram& histogram(const std::string& name, const LabelSet& labels = {});
+
+  /// Folds `other` into this registry: counters add, histograms merge,
+  /// gauges combine under `options.gauge_policy` (kLast -- the incoming
+  /// value overwrites -- when none is given). Missing instruments are
+  /// created; `other` is untouched and must not alias this registry. The
+  /// result depends only on the two registries and the options, so a
+  /// sequence of merges in a fixed order is deterministic regardless of
+  /// how the source registries were produced.
+  void merge(const MetricsRegistry& other, const MergeOptions& options = {});
+
+  /// `key` with `extra` appended to its label block ("name" ->
+  /// "name{k=v}", "name{a=b}" -> "name{a=b,k=v}"). No-op on empty
+  /// `extra`. Matches key_of for unlabeled keys.
+  [[nodiscard]] static std::string relabel_key(const std::string& key,
+                                               const LabelSet& extra);
 
   /// Instrument present (without creating it)?
   [[nodiscard]] const Counter* find_counter(const std::string& name,

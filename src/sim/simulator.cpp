@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <deque>
 #include <random>
-#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -100,9 +99,8 @@ struct SfTelemetry {
 SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
                         const std::vector<char>& faulty, obs::Sink* sink) {
   const std::uint32_t n = topo.num_nodes();
-  if (!faulty.empty() && faulty.size() != n) {
-    throw std::invalid_argument("run_simulation: fault mask size mismatch");
-  }
+  HBNET_CHECK_MSG(faulty.empty() || faulty.size() == n,
+                  "run_simulation: fault mask must be empty or num_nodes()");
   const bool have_faults = !faulty.empty();
 
   SimStats stats;
@@ -206,6 +204,11 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
                                           std::vector<FaultEvent> events,
                                           obs::Sink* sink) {
   const std::uint32_t n = topo.num_nodes();
+  for (const FaultEvent& ev : events) {
+    HBNET_CHECK_MSG(ev.node < n,
+                    "run_simulation_with_fault_events: event node out of "
+                    "range");
+  }
   std::sort(events.begin(), events.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               return a.cycle < b.cycle;

@@ -42,7 +42,8 @@ struct SimConfig {
 };
 
 /// Runs the simulation on `topo` with optional node faults.
-/// `faulty` may be empty (no faults) or sized num_nodes().
+/// `faulty` may be empty (no faults) or sized exactly num_nodes(); any
+/// other size is a caller bug and fails an HBNET_CHECK (process abort).
 ///
 /// A non-null `sink` collects per-link traversal counts, per-node queue
 /// occupancy integrals, injection/delivery time series, counters, the
@@ -64,6 +65,8 @@ struct FaultEvent {
 /// fault-tolerant algorithm (dropped if it has none or no path survives);
 /// packets queued *at* a dying node are lost outright. Measures how the
 /// Theorem-5 machinery behaves online rather than only at injection time.
+/// Every event's node must be < topo.num_nodes(); an out-of-range node is
+/// a caller bug and fails an HBNET_CHECK (process abort).
 [[nodiscard]] SimStats run_simulation_with_fault_events(
     const SimTopology& topo, const SimConfig& config,
     std::vector<FaultEvent> events, obs::Sink* sink = nullptr);

@@ -1,0 +1,307 @@
+// Tests for the deterministic fault-injection campaign engine: checked
+// grid parsing, the splittable seed scheme, trial enumeration, the
+// adversarial ranking, thread-count-invariant artifacts (the determinism
+// contract), and the paper's fault-tolerance claim measured end to end
+// (zero drops below kappa = m+4 random faults with fault routing on).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/grid.hpp"
+
+namespace hbnet::campaign {
+namespace {
+
+/// Small-but-real campaign config: every model, two fault levels, short
+/// cycles so the whole grid stays fast.
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.m = 1;
+  cfg.n = 3;
+  cfg.models = {FaultModel::kRandom, FaultModel::kAdversarial,
+                FaultModel::kEvents};
+  cfg.rates = {0.05};
+  cfg.fault_counts = {0, 2};
+  cfg.trials = 2;
+  cfg.seed = 7;
+  cfg.sim.warmup_cycles = 20;
+  cfg.sim.measure_cycles = 100;
+  cfg.sim.drain_cycles = 1000;
+  return cfg;
+}
+
+std::string artifacts_of(const CampaignConfig& cfg) {
+  const CampaignResult r = run_campaign(cfg);
+  std::ostringstream os;
+  r.metrics.write_json(os);
+  os << '\n';
+  write_campaign_csv(os, r);
+  write_campaign_table(os, r);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Checked grid parsing
+
+TEST(CampaignGrid, AcceptsWholeTokensOnly) {
+  EXPECT_EQ(parse_u64("42"), std::uint64_t{42});
+  EXPECT_EQ(parse_u64("0"), std::uint64_t{0});
+  EXPECT_FALSE(parse_u64("4x").has_value());
+  EXPECT_FALSE(parse_u64("x4").has_value());
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("-1").has_value());
+  EXPECT_FALSE(parse_u64("4 ").has_value());
+  EXPECT_FALSE(parse_u64("99999999999999999999999").has_value());
+
+  EXPECT_EQ(parse_unsigned("7"), 7u);
+  EXPECT_FALSE(parse_unsigned("4294967296").has_value());  // > uint32 max
+
+  EXPECT_EQ(parse_double("0.5"), 0.5);
+  EXPECT_FALSE(parse_double("0.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+}
+
+TEST(CampaignGrid, ParsesListsElementwise) {
+  const auto us = parse_unsigned_list("0,2,5");
+  ASSERT_TRUE(us.has_value());
+  EXPECT_EQ(*us, (std::vector<unsigned>{0, 2, 5}));
+  EXPECT_FALSE(parse_unsigned_list("0,,5").has_value());
+  EXPECT_FALSE(parse_unsigned_list("0,2x").has_value());
+  EXPECT_FALSE(parse_unsigned_list("").has_value());
+
+  const auto ds = parse_double_list("0.02,0.05");
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(*ds, (std::vector<double>{0.02, 0.05}));
+  EXPECT_FALSE(parse_double_list("0.02,").has_value());
+}
+
+TEST(CampaignGrid, ModelAndEngineNamesRoundTrip) {
+  for (FaultModel model : {FaultModel::kRandom, FaultModel::kAdversarial,
+                           FaultModel::kEvents}) {
+    EXPECT_EQ(fault_model_from_name(fault_model_name(model)), model);
+  }
+  for (Engine engine : {Engine::kStoreForward, Engine::kWormhole}) {
+    EXPECT_EQ(engine_from_name(engine_name(engine)), engine);
+  }
+  EXPECT_FALSE(fault_model_from_name("bogus").has_value());
+  EXPECT_FALSE(engine_from_name("bogus").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Seed scheme + enumeration
+
+TEST(CampaignSeed, SplitSeedSeparatesIndicesAndStreams) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t index = 0; index < 128; ++index) {
+    for (std::uint64_t stream = 0; stream < 3; ++stream) {
+      seen.insert(split_seed(11, index, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u * 3u);  // no collisions across the grid
+  EXPECT_EQ(split_seed(11, 5, 1), split_seed(11, 5, 1));  // pure function
+  EXPECT_NE(split_seed(11, 5, 1), split_seed(12, 5, 1));  // seed matters
+}
+
+TEST(CampaignEnumerate, OrderCellsAndDerivedSeeds) {
+  CampaignConfig cfg = small_config();
+  const std::vector<TrialSpec> specs = enumerate_trials(cfg);
+  ASSERT_EQ(specs.size(), 3u * 1u * 2u * 2u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].index, i);
+    EXPECT_EQ(specs[i].seed, split_seed(cfg.seed, i, 0));
+    EXPECT_EQ(specs[i].repeat, i % cfg.trials);
+  }
+  // model is the slowest axis, repeat the fastest.
+  EXPECT_EQ(specs.front().model, FaultModel::kRandom);
+  EXPECT_EQ(specs.back().model, FaultModel::kEvents);
+  EXPECT_EQ(specs[0].fault_count, 0u);
+  EXPECT_EQ(specs[2].fault_count, 2u);
+}
+
+TEST(CampaignEnumerate, RejectsMalformedConfigs) {
+  const CampaignConfig good = small_config();
+  (void)enumerate_trials(good);  // sanity: the base config is valid
+
+  CampaignConfig cfg = good;
+  cfg.rates.clear();
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.trials = 0;
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.rates = {0.0};
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.rates = {1.5};
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.fault_counts = {10000};  // >= num_nodes of HB(1,3)
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.engine = Engine::kWormhole;  // wormhole takes no fault mask
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.engine = Engine::kWormhole;
+  cfg.fault_counts = {0};
+  cfg.wormhole.vcs = 2;  // segment dateline needs 6
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+
+  cfg = good;
+  cfg.n = 2;  // invalid HB instance (n must be >= 3)
+  EXPECT_THROW((void)enumerate_trials(cfg), std::invalid_argument);
+}
+
+TEST(CampaignAdversarial, RankingIsPermutationSortedByIncidence) {
+  const std::vector<std::uint32_t> order = adversarial_fault_ranking(1, 3);
+  const std::uint64_t num_nodes = 3ull << 4;  // n * 2^(m+n)
+  ASSERT_EQ(order.size(), num_nodes);
+  std::set<std::uint32_t> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), num_nodes);
+  EXPECT_EQ(adversarial_fault_ranking(1, 3), order);  // deterministic
+}
+
+// ---------------------------------------------------------------------------
+// Determinism contract
+
+TEST(CampaignDeterminism, ArtifactsAreThreadCountInvariant) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 1;
+  const std::string one = artifacts_of(cfg);
+  cfg.threads = 2;
+  const std::string two = artifacts_of(cfg);
+  cfg.threads = 8;
+  const std::string eight = artifacts_of(cfg);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(CampaignDeterminism, RepeatRunsAreByteIdentical) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 2;
+  EXPECT_EQ(artifacts_of(cfg), artifacts_of(cfg));
+}
+
+TEST(CampaignDeterminism, SeedChangesArtifacts) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 2;
+  const std::string a = artifacts_of(cfg);
+  cfg.seed = cfg.seed + 1;
+  EXPECT_NE(artifacts_of(cfg), a);
+}
+
+// ---------------------------------------------------------------------------
+// The fault-tolerance claim, measured
+
+// HB(2,3) has kappa = m+4 = 6 (Corollary 1), so with fault routing enabled
+// every fault level below 5 = m+4-1 random static faults must deliver every
+// injected packet: the Theorem-5 disjoint-path machinery always finds a
+// surviving route.
+TEST(CampaignFaultTolerance, NoDropsBelowConnectivityUnderRandomFaults) {
+  CampaignConfig cfg;
+  cfg.m = 2;
+  cfg.n = 3;
+  cfg.models = {FaultModel::kRandom};
+  cfg.rates = {0.05};
+  cfg.fault_counts = {0, 1, 2, 3, 4};
+  cfg.trials = 2;
+  cfg.seed = 3;
+  cfg.sim.warmup_cycles = 20;
+  cfg.sim.measure_cycles = 100;
+  cfg.sim.drain_cycles = 1000;
+  cfg.threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+  ASSERT_EQ(r.cells.size(), 5u);
+  for (const CellSummary& cell : r.cells) {
+    EXPECT_EQ(cell.dropped, 0u) << "faults=" << cell.fault_count;
+    EXPECT_EQ(cell.delivered, cell.injected) << "faults=" << cell.fault_count;
+    EXPECT_GT(cell.injected, 0u) << "faults=" << cell.fault_count;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction consistency
+
+TEST(CampaignMetrics, MergedRegistryAgreesWithTrialTotals) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+
+  std::uint64_t injected = 0, delivered = 0, dropped = 0;
+  for (const TrialResult& t : r.trials) {
+    injected += t.injected;
+    delivered += t.delivered;
+    dropped += t.dropped;
+  }
+  ASSERT_NE(r.metrics.find_counter("campaign.delivered"), nullptr);
+  EXPECT_EQ(r.metrics.find_counter("campaign.injected")->value(), injected);
+  EXPECT_EQ(r.metrics.find_counter("campaign.delivered")->value(), delivered);
+  EXPECT_EQ(r.metrics.find_counter("campaign.dropped")->value(), dropped);
+  EXPECT_EQ(r.metrics.find_counter("campaign.trials")->value(),
+            r.trials.size());
+
+  // Cells sum to the same totals, and each cell's labeled counter matches.
+  std::uint64_t cell_delivered = 0;
+  for (const CellSummary& cell : r.cells) {
+    cell_delivered += cell.delivered;
+    std::ostringstream rate;
+    rate << cell.rate;
+    const obs::LabelSet labels = {{"model", fault_model_name(cell.model)},
+                                  {"rate", rate.str()},
+                                  {"faults", std::to_string(cell.fault_count)}};
+    const obs::Counter* c = r.metrics.find_counter("sim.delivered", labels);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), cell.delivered);
+  }
+  EXPECT_EQ(cell_delivered, delivered);
+}
+
+TEST(CampaignCsv, HeaderAndRowCountAreStable) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+  std::ostringstream os;
+  write_campaign_csv(os, r);
+  std::istringstream in(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "model,rate,faults,trials,injected,delivered,dropped,p50,p99,"
+            "max,mean_latency");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, r.cells.size());
+}
+
+TEST(CampaignWormhole, SweepRunsAndReportsLatencies) {
+  CampaignConfig cfg;
+  cfg.m = 1;
+  cfg.n = 3;
+  cfg.engine = Engine::kWormhole;
+  cfg.rates = {0.02};
+  cfg.trials = 2;
+  cfg.seed = 5;
+  cfg.wormhole.warmup_cycles = 20;
+  cfg.wormhole.measure_cycles = 100;
+  cfg.threads = 2;
+  const CampaignResult r = run_campaign(cfg);
+  ASSERT_EQ(r.cells.size(), 1u);
+  EXPECT_GT(r.cells[0].delivered, 0u);
+  EXPECT_GT(r.cells[0].latency_p50, 0u);
+  EXPECT_EQ(r.metrics.find_counter("campaign.deadlocks")->value(), 0u);
+}
+
+}  // namespace
+}  // namespace hbnet::campaign

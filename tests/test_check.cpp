@@ -11,6 +11,8 @@
 #include "check/validate.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/graph.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
 
 namespace hbnet {
 namespace {
@@ -90,6 +92,32 @@ TEST(CheckDeath, PassingChecksAreSilent) {
   HBNET_CHECK_OK(std::string());
   HBNET_DCHECK(true);
   HBNET_DCHECK_OK(std::string());
+}
+
+// The simulators' input contracts are HBNET_CHECKs: a wrong-sized fault
+// mask or an out-of-range fault-event node is a caller bug, not a
+// recoverable condition.
+TEST(CheckDeath, SimulationRejectsWrongSizedFaultMask) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 2;
+  cfg.drain_cycles = 8;
+  std::vector<char> faulty(topo->num_nodes() + 1, 0);  // one too long
+  EXPECT_DEATH((void)run_simulation(*topo, cfg, faulty),
+               "fault mask must be empty or num_nodes");
+}
+
+TEST(CheckDeath, FaultEventsRejectOutOfRangeNode) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  SimConfig cfg;
+  cfg.warmup_cycles = 0;
+  cfg.measure_cycles = 2;
+  cfg.drain_cycles = 8;
+  std::vector<FaultEvent> events{{1, topo->num_nodes()}};  // first bad id
+  EXPECT_DEATH(
+      (void)run_simulation_with_fault_events(*topo, cfg, events),
+      "event node out of range");
 }
 
 #if HBNET_CHECKS

@@ -340,6 +340,39 @@ TEST(ObsHistogram, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+// Merge edge cases the campaign reduction leans on: merging an empty
+// operand is a no-op (must not clobber min/max with the empty side's
+// zero-state), and merging into an empty histogram adopts the operand.
+TEST(ObsHistogram, MergeEmptyOperandIsNoOp) {
+  obs::Histogram a, empty;
+  a.record(5);
+  a.record(9);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 9u);
+  EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+}
+
+TEST(ObsHistogram, MergeIntoEmptyAdoptsOperand) {
+  obs::Histogram a, b;
+  b.record(3);
+  b.record(11);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 3u);
+  EXPECT_EQ(a.max(), 11u);
+  EXPECT_EQ(a.percentile(0.5), b.percentile(0.5));
+}
+
+TEST(ObsHistogram, PercentileClampsQOutsideUnitInterval) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+  EXPECT_EQ(h.percentile(2.0), h.max());
+}
+
 // ---------------------------------------------------------------------------
 // Registry + JSON
 
@@ -367,6 +400,109 @@ TEST(ObsRegistry, LabeledInstrumentsAndJson) {
   ASSERT_NE(hist, nullptr);
   ASSERT_NE(hist->field("lat"), nullptr);
   EXPECT_DOUBLE_EQ(hist->field("lat")->field("count")->number(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry merge (the campaign reduction)
+
+TEST(ObsRegistry, RelabelKeyAppendsInsideExistingBraces) {
+  const obs::LabelSet extra = {{"model", "random"}, {"faults", "2"}};
+  EXPECT_EQ(obs::MetricsRegistry::relabel_key("lat", extra),
+            "lat{model=random,faults=2}");
+  EXPECT_EQ(obs::MetricsRegistry::relabel_key("lat{link=0->1}", extra),
+            "lat{link=0->1,model=random,faults=2}");
+  EXPECT_EQ(obs::MetricsRegistry::relabel_key("lat{link=0->1}", {}),
+            "lat{link=0->1}");
+  // Relabeled keys must be reachable through the normal lookup path.
+  obs::MetricsRegistry reg;
+  reg.counter("lat", {{"link", "0->1"}, {"model", "random"}}).inc();
+  EXPECT_EQ(obs::MetricsRegistry::relabel_key("lat{link=0->1}",
+                                              {{"model", "random"}}),
+            "lat{link=0->1,model=random}");
+  EXPECT_NE(reg.find_counter("lat", {{"link", "0->1"}, {"model", "random"}}),
+            nullptr);
+}
+
+TEST(ObsRegistry, MergeAddsCountersUnderExtraLabels) {
+  obs::MetricsRegistry total, trial;
+  trial.counter("sim.delivered").inc(7);
+  trial.counter("sim.delivered", {{"link", "a"}}).inc(2);
+  obs::MergeOptions opts;
+  opts.extra_labels = {{"model", "random"}};
+  total.merge(trial, opts);
+  total.merge(trial, opts);  // second trial of the same cell
+  ASSERT_NE(total.find_counter("sim.delivered", {{"model", "random"}}),
+            nullptr);
+  EXPECT_EQ(total.find_counter("sim.delivered", {{"model", "random"}})
+                ->value(),
+            14u);
+  EXPECT_EQ(total.find_counter("sim.delivered",
+                               {{"link", "a"}, {"model", "random"}})
+                ->value(),
+            4u);
+  EXPECT_EQ(total.find_counter("sim.delivered"), nullptr);  // only labeled
+}
+
+TEST(ObsRegistry, MergeGaugePolicies) {
+  auto policy_for = [](obs::GaugeMerge policy) {
+    obs::MergeOptions opts;
+    opts.gauge_policy = [policy](const std::string&) { return policy; };
+    return opts;
+  };
+  for (obs::GaugeMerge policy :
+       {obs::GaugeMerge::kLast, obs::GaugeMerge::kMin, obs::GaugeMerge::kMax,
+        obs::GaugeMerge::kSum}) {
+    obs::MetricsRegistry total, a, b;
+    a.gauge("g").set(3.0);
+    b.gauge("g").set(1.0);
+    total.merge(a, policy_for(policy));
+    total.merge(b, policy_for(policy));
+    double expect = 0.0;
+    switch (policy) {
+      case obs::GaugeMerge::kLast:
+        expect = 1.0;
+        break;
+      case obs::GaugeMerge::kMin:
+        expect = 1.0;
+        break;
+      case obs::GaugeMerge::kMax:
+        expect = 3.0;
+        break;
+      case obs::GaugeMerge::kSum:
+        expect = 4.0;
+        break;
+    }
+    EXPECT_DOUBLE_EQ(total.gauge("g").value(), expect)
+        << "policy " << static_cast<int>(policy);
+  }
+  // Default policy (no callback) is last-wins.
+  obs::MetricsRegistry total, a;
+  a.gauge("g").set(2.5);
+  total.gauge("g").set(9.0);
+  total.merge(a);
+  EXPECT_DOUBLE_EQ(total.gauge("g").value(), 2.5);
+}
+
+TEST(ObsRegistry, MergedHistogramMatchesConcatenatedRecords) {
+  obs::MetricsRegistry total, t1, t2;
+  obs::Histogram combined;
+  std::mt19937_64 rng(17);
+  std::uniform_int_distribution<std::uint64_t> val(0, 1u << 16);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = val(rng);
+    ((i % 2 == 0) ? t1 : t2).histogram("lat").record(v);
+    combined.record(v);
+  }
+  total.merge(t1);
+  total.merge(t2);
+  const obs::Histogram* merged = total.find_histogram("lat");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), combined.count());
+  EXPECT_EQ(merged->min(), combined.min());
+  EXPECT_EQ(merged->max(), combined.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged->percentile(q), combined.percentile(q));
+  }
 }
 
 // ---------------------------------------------------------------------------

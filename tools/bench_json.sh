@@ -10,6 +10,9 @@
 #                               and BM_VertexConnectivityEvenTarjan (the
 #                               single-source checkpointed sweep engine on
 #                               HB(2,3) and HB(3,3))
+#   BENCH_campaign.json      -- BM_Campaign/1|2|4: the fault-injection
+#                               campaign engine sweeping one fixed grid at
+#                               1, 2, and 4 pool threads
 #
 # Usage: tools/bench_json.sh [build-dir] [output-dir]
 # Defaults: build-dir = build, output-dir = current directory.
@@ -20,7 +23,7 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 
-for bin in bench_wormhole bench_connectivity; do
+for bin in bench_wormhole bench_connectivity bench_campaign; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${bin} not built" \
          "(cmake --build ${BUILD_DIR} --target ${bin})" >&2
@@ -38,5 +41,11 @@ done
     --benchmark_out="${OUT_DIR}/BENCH_connectivity.json" \
     --benchmark_out_format=json
 
-echo "wrote ${OUT_DIR}/BENCH_wormhole.json and" \
-     "${OUT_DIR}/BENCH_connectivity.json"
+"${BUILD_DIR}/bench/bench_campaign" \
+    --benchmark_filter='BM_Campaign' \
+    --benchmark_out="${OUT_DIR}/BENCH_campaign.json" \
+    --benchmark_out_format=json
+
+echo "wrote ${OUT_DIR}/BENCH_wormhole.json," \
+     "${OUT_DIR}/BENCH_connectivity.json and" \
+     "${OUT_DIR}/BENCH_campaign.json"

@@ -16,19 +16,28 @@
 //                             [--threads N] [--metrics-out FILE]
 //   hbnet_cli wormhole <m> <n> [sim options]
 //   hbnet_cli sim <m> <n> [sim options]
+//   hbnet_cli campaign <m> <n> [campaign options]
 //
 // Sim options (wormhole/sim): --rate R --cycles C --vcs V --flits F
 //   --pattern uniform|complement|reversal|shuffle|hotspot
 //   --policy any|dateline|segment (wormhole) --valiant (sim) --seed S
 //   --threads N --trace-out FILE --metrics-out FILE --links-csv FILE
+//
+// Every numeric argv token goes through campaign/grid.hpp's checked
+// parsers: a malformed or partial token ("4x", "", "1e999") prints usage
+// and exits nonzero instead of dying on an uncaught std::stoul exception.
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/cuts.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/grid.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "distsim/leader_election.hpp"
 #include "graph/bfs.hpp"
@@ -68,14 +77,62 @@ int usage() {
          "                                 proving kappa(HB(m,n)) = m+4\n"
          "  wormhole <m> <n> [options]     flit-level wormhole run on HB(m,n)\n"
          "  sim <m> <n> [options]          store-and-forward run on HB(m,n)\n"
+         "  campaign <m> <n> [options]     deterministic fault-injection\n"
+         "                                 campaign over the thread pool\n"
          "options for wormhole/sim:\n"
          "  --rate R --cycles C --vcs V --flits F --seed S --threads N\n"
          "  --pattern uniform|complement|reversal|shuffle|hotspot\n"
          "  --policy any|dateline|segment   --valiant\n"
          "  --trace-out FILE    Chrome trace JSON (chrome://tracing, Perfetto)\n"
          "  --metrics-out FILE  metrics/links/timeseries JSON\n"
-         "  --links-csv FILE    per-link utilization CSV\n";
+         "  --links-csv FILE    per-link utilization CSV\n"
+         "options for campaign:\n"
+         "  --models M1,M2      random|adversarial|events (default random)\n"
+         "  --rates R1,R2       injection rates in (0,1] (default 0.05)\n"
+         "  --faults K1,K2      fault counts per cell (default 0)\n"
+         "  --trials T          repeats per grid cell (default 1)\n"
+         "  --seed S            campaign master seed (default 1)\n"
+         "  --engine sf|wormhole  simulator (default sf)\n"
+         "  --cycles C          measurement cycles per trial\n"
+         "  --threads N         pool size (0 = default)\n"
+         "  --metrics-out FILE  merged campaign metrics JSON\n"
+         "  --csv FILE          per-cell summary CSV\n";
   return 2;
+}
+
+// Checked argv-to-number conversions: report the offending flag and token
+// on stderr and fail instead of throwing (satellite of the campaign PR;
+// see campaign/grid.hpp for the parsing contract).
+bool parse_flag_u64(const char* flag, const char* v, std::uint64_t& out) {
+  const std::optional<std::uint64_t> p = hbnet::campaign::parse_u64(v);
+  if (!p) {
+    std::cerr << flag << ": expected a non-negative integer, got '" << v
+              << "'\n";
+    return false;
+  }
+  out = *p;
+  return true;
+}
+
+bool parse_flag_unsigned(const char* flag, const char* v, unsigned& out) {
+  const std::optional<unsigned> p = hbnet::campaign::parse_unsigned(v);
+  if (!p) {
+    std::cerr << flag << ": expected a non-negative integer, got '" << v
+              << "'\n";
+    return false;
+  }
+  out = *p;
+  return true;
+}
+
+bool parse_flag_double(const char* flag, const char* v, double& out) {
+  const std::optional<double> p = hbnet::campaign::parse_double(v);
+  if (!p) {
+    std::cerr << flag << ": expected a finite number, got '" << v << "'\n";
+    return false;
+  }
+  out = *p;
+  return true;
 }
 
 /// Shared flags for the telemetry-producing commands.
@@ -105,29 +162,24 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
       f.valiant = true;
     } else if (a == "--rate") {
       const char* v = next("--rate");
-      if (!v) return false;
-      f.rate = std::stod(v);
+      if (!v || !parse_flag_double("--rate", v, f.rate)) return false;
     } else if (a == "--cycles") {
       const char* v = next("--cycles");
-      if (!v) return false;
-      f.cycles = std::stoull(v);
+      if (!v || !parse_flag_u64("--cycles", v, f.cycles)) return false;
     } else if (a == "--vcs") {
       const char* v = next("--vcs");
-      if (!v) return false;
-      f.vcs = static_cast<unsigned>(std::stoul(v));
+      if (!v || !parse_flag_unsigned("--vcs", v, f.vcs)) return false;
     } else if (a == "--flits") {
       const char* v = next("--flits");
-      if (!v) return false;
-      f.flits = static_cast<unsigned>(std::stoul(v));
+      if (!v || !parse_flag_unsigned("--flits", v, f.flits)) return false;
     } else if (a == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
-      f.seed = std::stoull(v);
+      if (!v || !parse_flag_u64("--seed", v, f.seed)) return false;
     } else if (a == "--threads") {
       const char* v = next("--threads");
-      if (!v) return false;
-      hbnet::par::set_default_threads(
-          static_cast<unsigned>(std::stoul(v)));
+      unsigned threads = 0;
+      if (!v || !parse_flag_unsigned("--threads", v, threads)) return false;
+      hbnet::par::set_default_threads(threads);
     } else if (a == "--pattern") {
       const char* v = next("--pattern");
       if (!v) return false;
@@ -303,8 +355,15 @@ int run_exact_connectivity(const HyperButterfly& hb,
 int run(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string cmd = argv[1];
-  const unsigned m = static_cast<unsigned>(std::stoul(argv[2]));
-  const unsigned n = static_cast<unsigned>(std::stoul(argv[3]));
+  const std::optional<unsigned> m_arg = hbnet::campaign::parse_unsigned(argv[2]);
+  const std::optional<unsigned> n_arg = hbnet::campaign::parse_unsigned(argv[3]);
+  if (!m_arg || !n_arg) {
+    std::cerr << "m and n must be non-negative integers, got '" << argv[2]
+              << "' '" << argv[3] << "'\n";
+    return usage();
+  }
+  const unsigned m = *m_arg;
+  const unsigned n = *n_arg;
   HyperButterfly hb(m, n);
 
   if (cmd == "info") {
@@ -320,7 +379,13 @@ int run(int argc, char** argv) {
     return 0;
   }
   if (cmd == "label" && argc >= 5) {
-    HbIndex id = std::stoull(argv[4]);
+    const std::optional<std::uint64_t> id_arg =
+        hbnet::campaign::parse_u64(argv[4]);
+    if (!id_arg) {
+      std::cerr << "bad vertex id '" << argv[4] << "'\n";
+      return usage();
+    }
+    HbIndex id = *id_arg;
     if (id >= hb.num_nodes()) {
       std::cerr << "id out of range\n";
       return 1;
@@ -336,7 +401,16 @@ int run(int argc, char** argv) {
     return 0;
   }
   if ((cmd == "route" || cmd == "disjoint") && argc >= 6) {
-    HbIndex s = std::stoull(argv[4]), t = std::stoull(argv[5]);
+    const std::optional<std::uint64_t> s_arg =
+        hbnet::campaign::parse_u64(argv[4]);
+    const std::optional<std::uint64_t> t_arg =
+        hbnet::campaign::parse_u64(argv[5]);
+    if (!s_arg || !t_arg) {
+      std::cerr << "bad vertex ids '" << argv[4] << "' '" << argv[5]
+                << "'\n";
+      return usage();
+    }
+    HbIndex s = *s_arg, t = *t_arg;
     if (s >= hb.num_nodes() || t >= hb.num_nodes() || s == t) {
       std::cerr << "bad endpoints\n";
       return 1;
@@ -419,8 +493,11 @@ int run(int argc, char** argv) {
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--threads" && i + 1 < argc) {
-        hbnet::par::set_default_threads(
-            static_cast<unsigned>(std::stoul(argv[++i])));
+        unsigned threads = 0;
+        if (!parse_flag_unsigned("--threads", argv[++i], threads)) {
+          return usage();
+        }
+        hbnet::par::set_default_threads(threads);
       } else if (a == "--audit") {
         audit = true;
       } else if (a == "--exact-connectivity") {
@@ -502,6 +579,108 @@ int run(int argc, char** argv) {
               << "\n  p50=" << s.latency_percentile(0.5)
               << " max=" << s.max_latency() << "\n";
     if (!export_sink(sink, flags)) return 1;
+    return 0;
+  }
+  if (cmd == "campaign") {
+    namespace camp = hbnet::campaign;
+    camp::CampaignConfig cfg;
+    cfg.m = m;
+    cfg.n = n;
+    std::string metrics_out, csv_out;
+    for (int i = 4; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (i + 1 >= argc) {
+        std::cerr << a << " needs a value\n";
+        return usage();
+      }
+      const char* v = argv[++i];
+      if (a == "--models") {
+        cfg.models.clear();
+        std::string_view rest = v;
+        while (true) {
+          const std::size_t comma = rest.find(',');
+          const std::string_view piece = rest.substr(0, comma);
+          const std::optional<camp::FaultModel> model =
+              camp::fault_model_from_name(piece);
+          if (!model) {
+            std::cerr << "--models: unknown fault model '" << piece
+                      << "' (random|adversarial|events)\n";
+            return usage();
+          }
+          cfg.models.push_back(*model);
+          if (comma == std::string_view::npos) break;
+          rest.remove_prefix(comma + 1);
+        }
+      } else if (a == "--rates") {
+        const std::optional<std::vector<double>> rates =
+            camp::parse_double_list(v);
+        if (!rates) {
+          std::cerr << "--rates: expected comma-separated numbers, got '"
+                    << v << "'\n";
+          return usage();
+        }
+        cfg.rates = *rates;
+      } else if (a == "--faults") {
+        const std::optional<std::vector<unsigned>> faults =
+            camp::parse_unsigned_list(v);
+        if (!faults) {
+          std::cerr << "--faults: expected comma-separated integers, got '"
+                    << v << "'\n";
+          return usage();
+        }
+        cfg.fault_counts = *faults;
+      } else if (a == "--trials") {
+        if (!parse_flag_unsigned("--trials", v, cfg.trials)) return usage();
+      } else if (a == "--seed") {
+        if (!parse_flag_u64("--seed", v, cfg.seed)) return usage();
+      } else if (a == "--engine") {
+        const std::optional<camp::Engine> engine = camp::engine_from_name(v);
+        if (!engine) {
+          std::cerr << "--engine: expected sf|wormhole, got '" << v << "'\n";
+          return usage();
+        }
+        cfg.engine = *engine;
+      } else if (a == "--cycles") {
+        std::uint64_t cycles = 0;
+        if (!parse_flag_u64("--cycles", v, cycles)) return usage();
+        cfg.sim.measure_cycles = cycles;
+        cfg.wormhole.measure_cycles = cycles;
+      } else if (a == "--threads") {
+        if (!parse_flag_unsigned("--threads", v, cfg.threads)) return usage();
+      } else if (a == "--metrics-out") {
+        metrics_out = v;
+      } else if (a == "--csv") {
+        csv_out = v;
+      } else {
+        std::cerr << "unknown option " << a << "\n";
+        return usage();
+      }
+    }
+    const camp::CampaignResult result = camp::run_campaign(cfg);
+    std::cout << "campaign HB(" << m << "," << n << ") engine "
+              << camp::engine_name(cfg.engine) << ", " << result.trials.size()
+              << " trials over " << result.cells.size() << " cells (seed "
+              << cfg.seed << ")\n";
+    camp::write_campaign_table(std::cout, result);
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      if (!os) {
+        std::cerr << "cannot open " << metrics_out << "\n";
+        return 1;
+      }
+      result.metrics.write_json(os);
+      os << '\n';
+      std::cout << "metrics: " << metrics_out << "\n";
+    }
+    if (!csv_out.empty()) {
+      std::ofstream os(csv_out);
+      if (!os) {
+        std::cerr << "cannot open " << csv_out << "\n";
+        return 1;
+      }
+      camp::write_campaign_csv(os, result);
+      std::cout << "csv:     " << csv_out << "\n";
+    }
     return 0;
   }
   return usage();

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Campaign determinism contract, enforced end to end through the CLI: the
+# merged metrics JSON, the per-cell CSV, and the stdout table must be
+# byte-identical for --threads 1, 2, and 8, and across repeat runs.
+#
+# Usage: test_campaign_determinism.sh <path-to-hbnet_cli>
+set -eu
+
+cli=$1
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+run_campaign() {
+  threads=$1
+  tag=$2
+  # The "metrics:"/"csv:" confirmation lines echo the per-tag output paths,
+  # so drop them before comparing the table across runs.
+  "$cli" campaign 1 3 \
+    --models random,adversarial,events --rates 0.03,0.06 --faults 0,2 \
+    --trials 2 --seed 9 --cycles 100 --threads "$threads" \
+    --metrics-out "$work/m$tag.json" --csv "$work/c$tag.csv" \
+    | grep -v -e '^metrics:' -e '^csv:' > "$work/t$tag.txt"
+}
+
+run_campaign 1 1
+run_campaign 2 2
+run_campaign 8 8
+run_campaign 2 2b   # repeat run, same config
+
+for ext in json csv; do
+  a="$work/m1.$ext"
+  [ "$ext" = csv ] && a="$work/c1.$ext"
+  for tag in 2 8 2b; do
+    b="$work/m$tag.$ext"
+    [ "$ext" = csv ] && b="$work/c$tag.$ext"
+    if ! cmp -s "$a" "$b"; then
+      echo "FAIL: $ext differs between --threads runs ($a vs $b)" >&2
+      exit 1
+    fi
+  done
+done
+for tag in 2 8 2b; do
+  if ! cmp -s "$work/t1.txt" "$work/t$tag.txt"; then
+    echo "FAIL: stdout table differs between --threads runs (t1 vs t$tag)" >&2
+    exit 1
+  fi
+done
+
+echo "campaign artifacts byte-identical across thread counts and reruns"

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Argv hardening regression test: every malformed numeric token must make
+# hbnet_cli print a diagnostic and exit nonzero -- never die on an uncaught
+# std::stoul/std::stod exception (which exits 1 via the top-level handler
+# but with an unhelpful "error: stoul" message) and never silently accept a
+# partial token like "4x".
+#
+# Usage: test_cli_args.sh <path-to-hbnet_cli>
+set -eu
+
+cli=$1
+fails=0
+
+# expect_reject <description> <args...>: the command must exit nonzero and
+# print something to stderr.
+expect_reject() {
+  desc=$1
+  shift
+  if "$cli" "$@" >/dev/null 2>/tmp/hbnet_cli_args_err.$$; then
+    echo "FAIL: $desc: expected nonzero exit: $cli $*" >&2
+    fails=$((fails + 1))
+  elif ! [ -s /tmp/hbnet_cli_args_err.$$ ]; then
+    echo "FAIL: $desc: rejected but no diagnostic on stderr: $cli $*" >&2
+    fails=$((fails + 1))
+  fi
+  rm -f /tmp/hbnet_cli_args_err.$$
+}
+
+expect_reject "non-numeric m" info x 3
+expect_reject "partial-token n" info 2 3x
+expect_reject "negative m" info -2 3
+expect_reject "empty n" info 2 ""
+expect_reject "bad label id" label 2 3 12y
+expect_reject "bad route src" route 2 3 0q 5
+expect_reject "bad route dst" route 2 3 0 5q
+expect_reject "bad disjoint src" disjoint 2 3 zz 5
+expect_reject "bad sim rate" sim 2 3 --rate 0.05x
+expect_reject "bad sim cycles" sim 2 3 --cycles 10e
+expect_reject "bad sim seed" sim 2 3 --seed 1.5
+expect_reject "bad sim threads" sim 2 3 --threads two
+expect_reject "missing flag value" sim 2 3 --rate
+expect_reject "bad analyze threads" analyze 2 3 --threads 4x
+expect_reject "bad wormhole vcs" wormhole 2 3 --vcs x6
+expect_reject "bad campaign rates" campaign 2 3 --rates 0.05x
+expect_reject "bad campaign rate list" campaign 2 3 --rates 0.02,,0.05
+expect_reject "bad campaign faults" campaign 2 3 --faults 0,2x
+expect_reject "bad campaign trials" campaign 2 3 --trials -1
+expect_reject "bad campaign model" campaign 2 3 --models bogus
+expect_reject "bad campaign engine" campaign 2 3 --engine bogus
+expect_reject "campaign rate out of range" campaign 2 3 --rates 1.5
+expect_reject "wormhole campaign with faults" campaign 2 3 --engine wormhole --faults 2
+
+# Well-formed commands must still pass.
+if ! "$cli" info 2 3 >/dev/null; then
+  echo "FAIL: well-formed 'info 2 3' should succeed" >&2
+  fails=$((fails + 1))
+fi
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails argv hardening case(s) failed" >&2
+  exit 1
+fi
+echo "all argv hardening cases passed"
