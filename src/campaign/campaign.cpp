@@ -11,6 +11,8 @@
 #include "check/check.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/progress.hpp"
 #include "par/pool.hpp"
 #include "sim/topology.hpp"
 
@@ -264,12 +266,16 @@ std::vector<TrialSpec> enumerate_trials(const CampaignConfig& config) {
           "campaign: injection rates must lie in (0, 1]");
     }
   }
-  if (config.engine == Engine::kWormhole &&
-      config.wormhole.vcs < vc_classes(config.wormhole.policy)) {
+  if (config.engine == Engine::kWormhole) {
     // Caught here so the failure is a clean exception on the calling
-    // thread; run_wormhole's own throw would escape a pool worker.
-    throw std::invalid_argument(
-        "campaign: wormhole policy needs at least vc_classes(policy) VCs");
+    // thread; run_wormhole's own throw would escape a pool worker. The
+    // validator names the per-policy VC minimum, so the vcs = 2 header
+    // default being rejected by the segment-dateline default is
+    // self-explanatory.
+    if (const std::string err = validate_wormhole_config(config.wormhole);
+        !err.empty()) {
+      throw std::invalid_argument("campaign: " + err);
+    }
   }
   // Validates m/n too (the constructor throws on an invalid instance).
   const HyperButterfly hb(config.m, config.n);
@@ -309,7 +315,8 @@ std::vector<TrialSpec> enumerate_trials(const CampaignConfig& config) {
   return specs;
 }
 
-CampaignResult run_campaign(const CampaignConfig& config) {
+CampaignResult run_campaign(const CampaignConfig& config,
+                            obs::ProgressBoard* progress) {
   const std::vector<TrialSpec> specs = enumerate_trials(config);
 
   std::vector<std::uint32_t> ranking;
@@ -331,16 +338,62 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     topos.push_back(make_hyper_butterfly_sim(config.m, config.n));
   }
 
+  // Live progress slots, resolved up front so workers only do relaxed
+  // atomic adds. Per-cell drop slots share the metrics key convention
+  // (campaign.dropped{model=...,rate=...,faults=...}); cell index =
+  // spec.index / trials because repeats are the innermost enumeration
+  // axis.
+  obs::ProgressBoard::Slot* prog_done = nullptr;
+  obs::ProgressBoard::Slot* prog_injected = nullptr;
+  obs::ProgressBoard::Slot* prog_delivered = nullptr;
+  obs::ProgressBoard::Slot* prog_dropped = nullptr;
+  obs::ProgressBoard::Slot* prog_deadlocks = nullptr;
+  std::vector<obs::ProgressBoard::Slot*> cell_dropped;
+  if (progress != nullptr) {
+    progress->slot("campaign.trials_total").set(specs.size());
+    prog_done = &progress->slot("campaign.trials_done");
+    prog_injected = &progress->slot("campaign.injected");
+    prog_delivered = &progress->slot("campaign.delivered");
+    prog_dropped = &progress->slot("campaign.dropped");
+    prog_deadlocks = &progress->slot("campaign.deadlocks");
+    cell_dropped.resize(specs.size() / config.trials, nullptr);
+    for (const TrialSpec& spec : specs) {
+      if (spec.repeat == 0) {
+        cell_dropped[spec.index / config.trials] = &progress->slot(
+            obs::MetricsRegistry::key_of("campaign.dropped",
+                                         cell_labels(spec)));
+      }
+    }
+  }
+
   // Parallel phase: every trial is a pure function of its spec and writes
-  // only its own slots, so scheduling cannot perturb the outcome.
+  // only its own slots, so scheduling cannot perturb the outcome. The
+  // progress adds and flight-recorder events happen in completion order
+  // -- they are display/postmortem channels, not results.
   std::vector<TrialResult> results(specs.size());
   std::vector<obs::Sink> sinks(specs.size());
   pool.parallel_for_chunks(
       specs.size(), 1,
       [&](unsigned worker, std::uint64_t begin, std::uint64_t end) {
         for (std::uint64_t i = begin; i < end; ++i) {
+          obs::FlightRecorder::record(
+              "trial_start", specs[i].index,
+              static_cast<std::uint64_t>(specs[i].model),
+              specs[i].fault_count);
           run_trial(*topos[worker], config, specs[i], ranking, sinks[i],
                     results[i]);
+          obs::FlightRecorder::record("trial_finish", specs[i].index,
+                                      results[i].delivered,
+                                      results[i].dropped);
+          if (progress != nullptr) {
+            prog_done->add(1);
+            prog_injected->add(results[i].injected);
+            prog_delivered->add(results[i].delivered);
+            prog_dropped->add(results[i].dropped);
+            if (results[i].deadlocked) prog_deadlocks->add(1);
+            cell_dropped[specs[i].index / config.trials]->add(
+                results[i].dropped);
+          }
         }
       });
 

@@ -48,6 +48,10 @@
 #include "sim/simulator.hpp"
 #include "sim/wormhole.hpp"
 
+namespace hbnet::obs {
+class ProgressBoard;
+}
+
 namespace hbnet::campaign {
 
 enum class FaultModel { kRandom, kAdversarial, kEvents };
@@ -142,7 +146,17 @@ struct CampaignResult {
 
 /// Runs the whole grid over the hbnet::par pool and reduces. Validates the
 /// config like enumerate_trials.
-[[nodiscard]] CampaignResult run_campaign(const CampaignConfig& config);
+///
+/// A non-null `progress` receives live campaign slots -- trials_total
+/// (set up front), trials_done / injected / delivered / dropped /
+/// deadlocks (bumped as each trial finishes, in completion order), plus
+/// one campaign.dropped{model=...,rate=...,faults=...} slot per grid
+/// cell. Updates are relaxed atomic adds on a dedicated channel; the
+/// campaign result stays byte-identical with or without a board and at
+/// every thread count. Each trial also leaves trial_start/trial_finish
+/// events in the obs::FlightRecorder for postmortem dumps.
+[[nodiscard]] CampaignResult run_campaign(
+    const CampaignConfig& config, obs::ProgressBoard* progress = nullptr);
 
 /// One CSV row per grid cell (stable header, enumeration order):
 /// model,rate,faults,trials,injected,delivered,dropped,p50,p99,max,mean.

@@ -1,9 +1,18 @@
 #include "check/check.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace hbnet::check_detail {
+
+namespace {
+std::atomic<FailureHook> g_failure_hook{nullptr};
+}  // namespace
+
+void set_failure_hook(FailureHook hook) {
+  g_failure_hook.store(hook, std::memory_order_release);
+}
 
 void fail(const char* kind, const char* expr, const char* file, int line,
           const std::string& msg) {
@@ -14,6 +23,9 @@ void fail(const char* kind, const char* expr, const char* file, int line,
                  msg.c_str(), file, line);
   }
   std::fflush(stderr);
+  // exchange, not load: the hook runs at most once process-wide, and a
+  // check failing inside the hook falls straight through to abort().
+  if (FailureHook hook = g_failure_hook.exchange(nullptr)) hook();
   std::abort();
 }
 

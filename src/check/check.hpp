@@ -47,6 +47,13 @@ namespace hbnet::check_detail {
 [[noreturn]] void fail(const char* kind, const char* expr, const char* file,
                        int line, const std::string& msg);
 
+/// Called once, after the diagnostic is printed and before abort(), when
+/// any check fails. The obs::FlightRecorder installs its postmortem dump
+/// here. The hook is cleared before it runs, so a check failing inside
+/// the hook cannot recurse. nullptr uninstalls.
+using FailureHook = void (*)();
+void set_failure_hook(FailureHook hook);
+
 }  // namespace hbnet::check_detail
 
 #define HBNET_CHECK(cond)                                                    \

@@ -12,7 +12,9 @@
 
 #include "check/check.hpp"
 #include "check/validate.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "par/pool.hpp"
 
 namespace hbnet {
@@ -257,13 +259,34 @@ ExactConnectivityResult ConnectivitySweep::run() {
   };
   auto persist = [&](std::uint32_t stage_blocks) {
     HBNET_DCHECK_OK(check::validate(state_));
-    if (!opts_.checkpoint_path.empty() &&
-        !save_checkpoint(opts_.checkpoint_path, state_)) {
-      throw std::runtime_error("cannot write checkpoint " +
-                               opts_.checkpoint_path);
+    if (!opts_.checkpoint_path.empty()) {
+      if (!save_checkpoint(opts_.checkpoint_path, state_)) {
+        throw std::runtime_error("cannot write checkpoint " +
+                                 opts_.checkpoint_path);
+      }
+      obs::FlightRecorder::record("checkpoint_write", state_.stages_done,
+                                  state_.blocks_done, state_.bound);
     }
     if (opts_.on_block) opts_.on_block(state_, stage_blocks);
   };
+  // Live progress slots, resolved once; block-granular updates happen on
+  // the caller thread right after each serial merge.
+  obs::ProgressBoard::Slot* prog_bound = nullptr;
+  obs::ProgressBoard::Slot* prog_solves = nullptr;
+  obs::ProgressBoard::Slot* prog_pruned = nullptr;
+  obs::ProgressBoard::Slot* prog_blocks = nullptr;
+  obs::ProgressBoard::Slot* prog_stages = nullptr;
+  if (opts_.progress != nullptr) {
+    prog_bound = &opts_.progress->slot("connectivity.bound");
+    prog_solves = &opts_.progress->slot("connectivity.solves");
+    prog_pruned = &opts_.progress->slot("connectivity.pruned");
+    prog_blocks = &opts_.progress->slot("connectivity.blocks");
+    prog_stages = &opts_.progress->slot("connectivity.stages");
+    prog_bound->set(state_.bound);
+    prog_solves->set(state_.solves);
+    prog_pruned->set(state_.pruned);
+    prog_stages->set(state_.stages_done);
+  }
 
   if (state_.complete) return result_from_state();
 
@@ -386,6 +409,15 @@ ExactConnectivityResult ConnectivitySweep::run() {
           m.histogram("connectivity.flow").merge(tally.flows);
         }
       }
+      if (prog_bound != nullptr) {
+        prog_bound->set(state_.bound);
+        prog_solves->add(solves);
+        prog_pruned->add(pruned);
+        prog_blocks->add(1);
+        prog_stages->set(state_.stages_done);
+      }
+      obs::FlightRecorder::record("sweep_block", state_.stages_done,
+                                  state_.blocks_done, state_.bound);
       persist(num_blocks);
     }
     if (stopped) break;

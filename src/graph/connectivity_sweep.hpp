@@ -52,6 +52,7 @@ namespace hbnet {
 
 namespace obs {
 class MetricsRegistry;
+class ProgressBoard;
 }
 
 /// Tuning and environment for a ConnectivitySweep run.
@@ -75,6 +76,11 @@ struct SweepOptions {
   /// Optional instrumentation: solve/prune counters, the bound gauge, and
   /// the flow-size histogram land here, updated once per block.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional live progress: connectivity.bound / .solves / .pruned /
+  /// .blocks / .stages slots, updated once per block on the caller thread
+  /// (relaxed atomic stores on a dedicated channel; sweep results,
+  /// metrics, and checkpoint bytes are unaffected).
+  obs::ProgressBoard* progress = nullptr;
   /// Called after every completed block (and stage rollover) with the
   /// persisted state and the block count of the stage in progress.
   std::function<void(const struct SweepState&, std::uint32_t stage_blocks)>

@@ -1,0 +1,189 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include "check/check.hpp"
+
+namespace hbnet::obs {
+namespace {
+
+struct ThreadRing {
+  FlightEvent events[FlightRecorder::kRingCapacity];
+  // Total events ever recorded by the owning thread; the live window is
+  // the last min(count, kRingCapacity) slots. Written with release so a
+  // collector that acquires it sees the events it covers.
+  std::atomic<std::uint64_t> count{0};
+};
+
+std::atomic<std::uint64_t> g_seq{1};  // 0 marks an empty ring slot
+
+// Rings are owned here and never freed: a thread that exits leaves its
+// tail of events behind for the postmortem dump.
+std::mutex g_registry_mutex;
+std::vector<std::unique_ptr<ThreadRing>>& registry() {
+  static std::vector<std::unique_ptr<ThreadRing>> r;
+  return r;
+}
+
+// Lock-free mirror of the registry for the signal handler: a fixed array
+// of pointers the crash path can walk without taking g_registry_mutex.
+std::atomic<ThreadRing*>
+    g_crash_rings[FlightRecorder::kMaxCrashVisibleThreads];
+std::atomic<std::size_t> g_crash_ring_count{0};
+
+ThreadRing* register_ring() {
+  auto owned = std::make_unique<ThreadRing>();
+  ThreadRing* ring = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    registry().push_back(std::move(owned));
+  }
+  const std::size_t slot =
+      g_crash_ring_count.fetch_add(1, std::memory_order_relaxed);
+  if (slot < FlightRecorder::kMaxCrashVisibleThreads) {
+    g_crash_rings[slot].store(ring, std::memory_order_release);
+  }
+  return ring;
+}
+
+ThreadRing* this_thread_ring() {
+  thread_local ThreadRing* ring = register_ring();
+  return ring;
+}
+
+// ---------------------------------------------------------------------------
+// Crash path.
+// ---------------------------------------------------------------------------
+
+char g_dump_path[4096] = {};      // empty = dump to stderr
+std::atomic<bool> g_dumped{false};
+
+void dump_once() {
+  if (g_dumped.exchange(true)) return;
+  int fd = 2;
+  bool opened = false;
+  if (g_dump_path[0] != '\0') {
+    const int f = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (f >= 0) {
+      fd = f;
+      opened = true;
+    }
+  }
+  FlightRecorder::dump_fd(fd);
+  if (opened) ::close(fd);
+}
+
+void check_failure_hook() { dump_once(); }
+
+void fatal_signal_handler(int sig) {
+  dump_once();
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dumps, exit status intact).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd, buf + done, n - done);
+    if (w <= 0) return;
+    done += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+void FlightRecorder::record(const char* tag, std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  ThreadRing* ring = this_thread_ring();
+  const std::uint64_t n = ring->count.load(std::memory_order_relaxed);
+  FlightEvent& e = ring->events[n % kRingCapacity];
+  e.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  std::size_t len = 0;
+  while (tag[len] != '\0' && len < FlightEvent::kTagCapacity - 1) {
+    e.tag[len] = tag[len];
+    ++len;
+  }
+  e.tag[len] = '\0';
+  ring->count.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::collect() {
+  std::vector<FlightEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    for (const auto& ring : registry()) {
+      const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+      const std::uint64_t kept = std::min<std::uint64_t>(n, kRingCapacity);
+      for (std::uint64_t i = 0; i < kept; ++i) {
+        out.push_back(ring->events[(n - kept + i) % kRingCapacity]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::dump_fd(int fd) {
+  char buf[192];
+  int len = snprintf(buf, sizeof(buf),
+                     "hbnet flight recorder: recent events "
+                     "(per-thread order, oldest first)\n");
+  if (len > 0) write_all(fd, buf, static_cast<std::size_t>(len));
+  const std::size_t rings =
+      std::min(g_crash_ring_count.load(std::memory_order_acquire),
+               kMaxCrashVisibleThreads);
+  for (std::size_t r = 0; r < rings; ++r) {
+    ThreadRing* ring = g_crash_rings[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    const std::uint64_t n = ring->count.load(std::memory_order_acquire);
+    const std::uint64_t kept = std::min<std::uint64_t>(n, kRingCapacity);
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      const FlightEvent& e = ring->events[(n - kept + i) % kRingCapacity];
+      if (e.seq == 0) continue;
+      char tag[FlightEvent::kTagCapacity];
+      std::memcpy(tag, e.tag, sizeof(tag));
+      tag[sizeof(tag) - 1] = '\0';
+      len = snprintf(buf, sizeof(buf),
+                     "flight %llu %s a=%llu b=%llu c=%llu\n",
+                     static_cast<unsigned long long>(e.seq), tag,
+                     static_cast<unsigned long long>(e.a),
+                     static_cast<unsigned long long>(e.b),
+                     static_cast<unsigned long long>(e.c));
+      if (len > 0) write_all(fd, buf, static_cast<std::size_t>(len));
+    }
+  }
+  len = snprintf(buf, sizeof(buf), "hbnet flight recorder: end of dump\n");
+  if (len > 0) write_all(fd, buf, static_cast<std::size_t>(len));
+}
+
+void FlightRecorder::install_crash_dump(const std::string& path) {
+  const std::size_t n = std::min(path.size(), sizeof(g_dump_path) - 1);
+  std::memcpy(g_dump_path, path.data(), n);
+  g_dump_path[n] = '\0';
+  check_detail::set_failure_hook(&check_failure_hook);
+  struct sigaction sa = {};
+  sa.sa_handler = &fatal_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+}  // namespace hbnet::obs

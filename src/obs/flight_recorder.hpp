@@ -1,0 +1,77 @@
+// hbnet::obs -- crash-surviving ring buffer of recent engine events.
+//
+// The FlightRecorder answers "what was the process doing when it died?"
+// for long runs killed by an HBNET_CHECK failure or a fatal signal.
+// Engines record small structured events (trial start/finish, sweep
+// block, checkpoint write) into fixed-capacity per-thread ring buffers;
+// the failure path dumps the most recent events -- merged across
+// threads, in global sequence order -- to a file or stderr.
+//
+// Recording is lock-free and allocation-free after a thread's first
+// event: one relaxed fetch_add on a global sequence counter plus a store
+// into the caller's own ring. Old events are overwritten in place, so
+// the recorder's footprint is constant no matter how long the run. Like
+// the ProgressBoard this is a pure side channel: nothing recorded here
+// influences results, and recording is always on (its cost is a few
+// nanoseconds per coarse-grained event).
+//
+// Dumping from a signal handler is best-effort: it uses only
+// async-signal-safe calls (open/write/snprintf into a local buffer), and
+// an event being written concurrently by a live thread may appear torn.
+// That trade is deliberate -- a mostly-correct tail of events beats none.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbnet::obs {
+
+/// One recorded event: a short tag plus three uint64 payload slots whose
+/// meaning is tag-specific (documented at each record site).
+struct FlightEvent {
+  static constexpr std::size_t kTagCapacity = 24;  // incl. NUL
+
+  std::uint64_t seq = 0;  // global order; 0 = empty slot
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  char tag[kTagCapacity] = {};
+};
+
+/// Process-wide recorder. All members are static: per-thread rings are
+/// reached through a thread_local, and the crash path needs a global
+/// registry it can walk without locks.
+class FlightRecorder {
+ public:
+  /// Events retained per thread; older events are overwritten.
+  static constexpr std::size_t kRingCapacity = 256;
+  /// Threads whose rings the signal-safe dump path can see. Later
+  /// threads still record, but only lock-path collect() reads them.
+  static constexpr std::size_t kMaxCrashVisibleThreads = 256;
+
+  /// Records one event into the calling thread's ring. `tag` is
+  /// truncated to kTagCapacity-1 bytes. Wait-free after the thread's
+  /// first call.
+  static void record(const char* tag, std::uint64_t a = 0, std::uint64_t b = 0,
+                     std::uint64_t c = 0);
+
+  /// All retained events from every thread, sorted by global seq
+  /// (oldest first). Takes the registry lock -- for tests and orderly
+  /// dumps, not the crash path.
+  [[nodiscard]] static std::vector<FlightEvent> collect();
+
+  /// Writes retained events to `fd` as "flight <seq> <tag> a=<a> b=<b>
+  /// c=<c>" lines using only async-signal-safe calls. Best-effort;
+  /// events touched mid-write by live threads may be torn.
+  static void dump_fd(int fd);
+
+  /// Arms postmortem dumping: on HBNET_CHECK failure (via
+  /// check_detail::set_failure_hook) or a fatal signal (SIGSEGV, SIGBUS,
+  /// SIGFPE, SIGILL, SIGABRT), the recorder dumps to `path` -- or to
+  /// stderr when `path` is empty -- exactly once, then the normal
+  /// abort/signal disposition proceeds. Call once near process start.
+  static void install_crash_dump(const std::string& path = "");
+};
+
+}  // namespace hbnet::obs

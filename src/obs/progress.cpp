@@ -1,0 +1,31 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+
+namespace hbnet::obs {
+
+ProgressBoard::Slot& ProgressBoard::slot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : slots_) {
+    if (entry.first == name) return entry.second;
+  }
+  slots_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                      std::forward_as_tuple());
+  return slots_.back().second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ProgressBoard::sample()
+    const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(slots_.size());
+    for (const auto& entry : slots_) {
+      out.emplace_back(entry.first, entry.second.value());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hbnet::obs

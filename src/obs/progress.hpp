@@ -1,0 +1,74 @@
+// hbnet::obs -- live progress channel for long-running engines.
+//
+// A ProgressBoard is the dedicated side channel the determinism contract
+// requires for live telemetry: engines publish coarse progress (trials
+// done, current sweep block, simulator cycle) by relaxed atomic stores
+// into named Slots, and observers -- the Snapshotter's exporter thread,
+// the CLI's TTY status line -- sample those slots concurrently. Nothing
+// ever flows back: a board is write-only for the engine and read-only for
+// the observer, so results, checkpoints, and merged metrics stay
+// byte-identical whether a board is attached or not.
+//
+// Slots are created on first use and their addresses are stable for the
+// board's lifetime (deque storage), so hot loops resolve a slot once and
+// then update it with a single relaxed atomic op per event. Values are
+// uint64 -- counts, cycles, and scaled quantities; anything richer
+// belongs in MetricsRegistry, which stays on the deterministic result
+// path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hbnet::obs {
+
+/// Name -> value channel between one or more writers (engine threads) and
+/// any number of samplers. All operations are thread-safe; slot updates
+/// are wait-free after the first lookup.
+class ProgressBoard {
+ public:
+  /// One named atomic value. set() is for level-style quantities (current
+  /// cycle, current bound); add() for monotone tallies (trials done,
+  /// flits delivered). Mixed use on one slot is a bug, not a crash.
+  class Slot {
+   public:
+    void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+    void add(std::uint64_t n) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+      return value_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    std::atomic<std::uint64_t> value_{0};
+  };
+
+  ProgressBoard() = default;
+  ProgressBoard(const ProgressBoard&) = delete;
+  ProgressBoard& operator=(const ProgressBoard&) = delete;
+
+  /// The slot named `name`, created (value 0) on first use. The returned
+  /// reference is stable for the board's lifetime; hot paths call this
+  /// once and keep the reference.
+  Slot& slot(const std::string& name);
+
+  /// Consistent-enough snapshot for display/export: every slot that
+  /// existed when sampling began, as (name, value) sorted by name. Values
+  /// are individually atomic reads; cross-slot skew is inherent and fine
+  /// for progress display.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sample()
+      const;
+
+ private:
+  mutable std::mutex mutex_;
+  // deque: grows without moving existing slots, so Slot& stays valid.
+  std::deque<std::pair<std::string, Slot>> slots_;
+};
+
+}  // namespace hbnet::obs

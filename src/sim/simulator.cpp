@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 namespace hbnet {
@@ -28,9 +29,20 @@ struct SfTelemetry {
   std::vector<std::uint64_t> node_occ;
   obs::TimeSeries* inject_ts = nullptr;
   obs::TimeSeries* deliver_ts = nullptr;
+  // Live progress slots (dedicated channel; never feeds back into the
+  // run). Resolved once so per-cycle updates are plain relaxed stores.
+  obs::ProgressBoard::Slot* prog_cycle = nullptr;
+  obs::ProgressBoard::Slot* prog_in_flight = nullptr;
+  obs::ProgressBoard::Slot* prog_delivered = nullptr;
 
-  SfTelemetry(obs::Sink* s, std::uint32_t n, const SimConfig& config)
+  SfTelemetry(obs::Sink* s, std::uint32_t n, const SimConfig& config,
+              obs::ProgressBoard* progress)
       : sink(s) {
+    if (progress != nullptr) {
+      prog_cycle = &progress->slot("sim.cycle");
+      prog_in_flight = &progress->slot("sim.in_flight_packets");
+      prog_delivered = &progress->slot("sim.delivered");
+    }
     if (sink == nullptr) return;
     node_occ.assign(n, 0);
     const std::uint64_t bucket = std::max<std::uint64_t>(
@@ -48,6 +60,7 @@ struct SfTelemetry {
     }
   }
   void on_deliver(std::uint64_t cycle, const Packet& pkt) {
+    if (prog_delivered != nullptr) prog_delivered->add(1);
     if (deliver_ts != nullptr) deliver_ts->bump(cycle);
     HBNET_TRACE_COMPLETE(sink, "packet", "pkt", 0, pkt.path.front(),
                          pkt.injected_at, cycle + 1 - pkt.injected_at,
@@ -57,6 +70,10 @@ struct SfTelemetry {
   }
   void sweep(const std::vector<std::deque<Packet>>& queue,
              std::uint64_t cycle, std::uint64_t in_flight) {
+    if (prog_cycle != nullptr) {
+      prog_cycle->set(cycle);
+      prog_in_flight->set(in_flight);
+    }
     if (sink == nullptr) return;
     for (std::size_t v = 0; v < queue.size(); ++v) {
       node_occ[v] += queue[v].size();
@@ -97,7 +114,8 @@ struct SfTelemetry {
 }  // namespace
 
 SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
-                        const std::vector<char>& faulty, obs::Sink* sink) {
+                        const std::vector<char>& faulty, obs::Sink* sink,
+                        obs::ProgressBoard* progress) {
   const std::uint32_t n = topo.num_nodes();
   HBNET_CHECK_MSG(faulty.empty() || faulty.size() == n,
                   "run_simulation: fault mask must be empty or num_nodes()");
@@ -112,7 +130,7 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
-  SfTelemetry telem(sink, n, config);
+  SfTelemetry telem(sink, n, config, progress);
 
   std::uint64_t cycle = 0;
   for (; cycle < horizon; ++cycle) {
@@ -202,7 +220,8 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
 SimStats run_simulation_with_fault_events(const SimTopology& topo,
                                           const SimConfig& config,
                                           std::vector<FaultEvent> events,
-                                          obs::Sink* sink) {
+                                          obs::Sink* sink,
+                                          obs::ProgressBoard* progress) {
   const std::uint32_t n = topo.num_nodes();
   for (const FaultEvent& ev : events) {
     HBNET_CHECK_MSG(ev.node < n,
@@ -226,7 +245,7 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
-  SfTelemetry telem(sink, n, config);
+  SfTelemetry telem(sink, n, config, progress);
 
   std::uint64_t cycle = 0;
   for (; cycle < horizon; ++cycle) {

@@ -23,6 +23,10 @@
 
 namespace hbnet {
 
+namespace obs {
+class ProgressBoard;
+}
+
 /// How packets are source-routed at injection.
 enum class RoutingMode {
   kNative,   // the topology's own (usually minimal) algorithm
@@ -49,10 +53,15 @@ struct SimConfig {
 /// occupancy integrals, injection/delivery time series, counters, the
 /// latency histogram, and (when tracing is enabled on the sink) packet
 /// lifetime spans. A null sink adds no per-packet work.
+///
+/// A non-null `progress` receives live sim.cycle / sim.in_flight_packets /
+/// sim.delivered slot updates each cycle (relaxed atomic stores on a
+/// dedicated channel; results are unaffected).
 [[nodiscard]] SimStats run_simulation(const SimTopology& topo,
                                       const SimConfig& config,
                                       const std::vector<char>& faulty = {},
-                                      obs::Sink* sink = nullptr);
+                                      obs::Sink* sink = nullptr,
+                                      obs::ProgressBoard* progress = nullptr);
 
 /// A node failure occurring *during* the run.
 struct FaultEvent {
@@ -69,6 +78,7 @@ struct FaultEvent {
 /// a caller bug and fails an HBNET_CHECK (process abort).
 [[nodiscard]] SimStats run_simulation_with_fault_events(
     const SimTopology& topo, const SimConfig& config,
-    std::vector<FaultEvent> events, obs::Sink* sink = nullptr);
+    std::vector<FaultEvent> events, obs::Sink* sink = nullptr,
+    obs::ProgressBoard* progress = nullptr);
 
 }  // namespace hbnet

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "check/check.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 
 // Datapath layout (rewritten for single-thread speed; cycle-exact with the
@@ -105,16 +106,42 @@ std::vector<std::uint8_t> hop_classes(const std::vector<std::uint32_t>& path,
 
 }  // namespace
 
-WormholeStats run_wormhole(const SimTopology& topo,
-                           const WormholeConfig& config, unsigned ring_arity,
-                           obs::Sink* sink) {
+const char* vc_policy_name(VcPolicy policy) {
+  switch (policy) {
+    case VcPolicy::kAnyFree:
+      return "any";
+    case VcPolicy::kDateline:
+      return "dateline";
+    case VcPolicy::kSegmentDateline:
+      return "segment";
+  }
+  return "?";
+}
+
+std::string validate_wormhole_config(const WormholeConfig& config) {
   if (config.vcs < 1 || config.flits_per_packet < 1 ||
       config.buffer_depth < 1) {
-    throw std::invalid_argument("run_wormhole: degenerate config");
+    return "wormhole config: vcs, flits_per_packet, and buffer_depth must "
+           "all be at least 1";
   }
-  if (config.vcs < vc_classes(config.policy)) {
-    throw std::invalid_argument(
-        "run_wormhole: policy needs at least vc_classes(policy) VCs");
+  const unsigned need = vc_classes(config.policy);
+  if (config.vcs < need) {
+    return std::string("wormhole config: policy '") +
+           vc_policy_name(config.policy) + "' needs at least " +
+           std::to_string(need) + " virtual channels, got " +
+           std::to_string(config.vcs) +
+           " (note the WormholeConfig{} default vcs = 2 only suits "
+           "'any'/'dateline'; pass vcs explicitly for 'segment')";
+  }
+  return {};
+}
+
+WormholeStats run_wormhole(const SimTopology& topo,
+                           const WormholeConfig& config, unsigned ring_arity,
+                           obs::Sink* sink, obs::ProgressBoard* progress) {
+  if (const std::string err = validate_wormhole_config(config);
+      !err.empty()) {
+    throw std::invalid_argument("run_wormhole: " + err);
   }
   const std::uint32_t n = topo.num_nodes();
   const std::uint16_t flits =
@@ -222,6 +249,16 @@ WormholeStats run_wormhole(const SimTopology& topo,
                                     config.measure_cycles) / 64);
     inject_ts = &sink->time_series("wormhole.injected", bucket);
     deliver_ts = &sink->time_series("wormhole.delivered", bucket);
+  }
+  // Live progress slots, resolved once; per-cycle updates are relaxed
+  // atomic stores into the board and never feed back into the run.
+  obs::ProgressBoard::Slot* prog_cycle = nullptr;
+  obs::ProgressBoard::Slot* prog_in_flight = nullptr;
+  obs::ProgressBoard::Slot* prog_delivered = nullptr;
+  if (progress != nullptr) {
+    prog_cycle = &progress->slot("wormhole.cycle");
+    prog_in_flight = &progress->slot("wormhole.in_flight_flits");
+    prog_delivered = &progress->slot("wormhole.delivered");
   }
 
   // VC q belongs to class q * classes / vcs (classes partition the range).
@@ -401,6 +438,11 @@ WormholeStats run_wormhole(const SimTopology& topo,
     if (sink != nullptr) {
       flit_cycles_buffered += buffered;
       HBNET_TRACE_COUNTER(sink, "in_flight_flits", 0, cycle, buffered);
+    }
+    if (prog_cycle != nullptr) {
+      prog_cycle->set(cycle);
+      prog_in_flight->set(buffered);
+      prog_delivered->set(stats.packets.delivered());
     }
 
     // 5. Termination and deadlock detection.

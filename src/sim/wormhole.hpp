@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "obs/sink.hpp"
@@ -39,6 +40,10 @@
 #include "sim/traffic.hpp"
 
 namespace hbnet {
+
+namespace obs {
+class ProgressBoard;
+}
 
 enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline };
 
@@ -54,6 +59,9 @@ enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline };
   }
   return 1;
 }
+
+/// The CLI spelling of a policy ("any" / "dateline" / "segment").
+[[nodiscard]] const char* vc_policy_name(VcPolicy policy);
 
 struct WormholeConfig {
   unsigned vcs = 2;                 // virtual channels per physical channel
@@ -75,6 +83,17 @@ struct WormholeStats {
   std::uint64_t cycles = 0;  // cycles actually simulated
 };
 
+/// Validates a WormholeConfig against its own policy: empty string when
+/// runnable, otherwise a diagnostic naming the minimum VC count for the
+/// chosen policy. Guards the classic footgun: WormholeConfig{} defaults
+/// to vcs = 2, which the default kSegmentDateline policy (6 classes)
+/// rejects -- callers sweeping policies must bump vcs accordingly (the
+/// campaign engine defaults its wormhole config to vcs = 6 for this
+/// reason). run_wormhole and campaign::enumerate_trials both throw
+/// std::invalid_argument with this message on a non-empty result.
+[[nodiscard]] std::string validate_wormhole_config(
+    const WormholeConfig& config);
+
 /// Runs the wormhole simulation. `ring_arity` is the modulus of the
 /// level/position coordinate in the node indexing (node id % arity), used
 /// to detect ring direction and wrap hops for the dateline policies; pass
@@ -85,9 +104,14 @@ struct WormholeStats {
 /// and the latency histogram (sink->metrics()), and -- if the sink has
 /// tracing enabled -- Chrome-trace packet lifetime spans plus an in-flight
 /// flit counter track. A null sink costs nothing on the hot path.
+///
+/// A non-null `progress` receives live wormhole.cycle /
+/// wormhole.in_flight_flits / wormhole.delivered slot updates each cycle
+/// (relaxed atomic stores on a dedicated channel; results are unaffected).
 [[nodiscard]] WormholeStats run_wormhole(const SimTopology& topo,
                                          const WormholeConfig& config,
                                          unsigned ring_arity = 0,
-                                         obs::Sink* sink = nullptr);
+                                         obs::Sink* sink = nullptr,
+                                         obs::ProgressBoard* progress = nullptr);
 
 }  // namespace hbnet

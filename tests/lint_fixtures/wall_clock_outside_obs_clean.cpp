@@ -1,0 +1,12 @@
+// hblint-scope: obs
+// Fixture: the obs/ telemetry layer is the one library component allowed to
+// read wall clocks -- snapshot timestamps and exporter cadence live there.
+// Under scope src both lines below would be flagged (no-wall-clock and
+// wall-clock-outside-obs); under scope obs the file lints clean.
+#include <chrono>
+
+long long snapshot_unix_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}

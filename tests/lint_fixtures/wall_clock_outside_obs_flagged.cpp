@@ -1,0 +1,10 @@
+// hblint-scope: src
+// Fixture: rule wall-clock-outside-obs must flag std::chrono use in library
+// code outside src/obs/ even when no clock type is named (durations and
+// sleeps smuggle wall time into engines just as well).
+#include <chrono>
+
+unsigned long long as_millis(unsigned long long ticks) {
+  const std::chrono::milliseconds budget(ticks);
+  return static_cast<unsigned long long>(budget.count());
+}

@@ -11,6 +11,7 @@
 #include "check/validate.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
 
@@ -84,6 +85,22 @@ TEST(CheckDeath, CheckMsgIncludesMessage) {
 TEST(CheckDeath, CheckOkReportsValidatorString) {
   EXPECT_DEATH(HBNET_CHECK_OK(std::string("offsets not monotone")),
                "offsets not monotone");
+}
+
+// Postmortem triage path: with a crash dump installed, a CHECK failure
+// appends the flight recorder's recent engine events to the diagnostic --
+// the in-flight trial context survives the abort.
+TEST(CheckDeath, CheckFailureDumpsFlightRecorder) {
+  EXPECT_DEATH(
+      {
+        obs::FlightRecorder::install_crash_dump();  // empty path -> stderr
+        obs::FlightRecorder::record("death_probe", 42, 7, 9);
+        HBNET_CHECK_MSG(false, "flight dump probe");
+      },
+      // gtest's simple-regex '.' matches newlines, so this spans the
+      // diagnostic line and the dump that follows it.
+      "flight dump probe.*flight recorder: recent events.*"
+      "death_probe a=42 b=7 c=9");
 }
 
 TEST(CheckDeath, PassingChecksAreSilent) {

@@ -47,6 +47,8 @@ const FixturePair kPairs[] = {
     {"no-random-device", "no_random_device_flagged.cpp",
      "no_random_device_clean.cpp"},
     {"no-wall-clock", "no_wall_clock_flagged.cpp", "no_wall_clock_clean.cpp"},
+    {"wall-clock-outside-obs", "wall_clock_outside_obs_flagged.cpp",
+     "wall_clock_outside_obs_clean.cpp"},
     {"unordered-iteration", "unordered_iteration_flagged.cpp",
      "unordered_iteration_clean.cpp"},
     {"sink-default", "sink_default_flagged.hpp", "sink_default_clean.hpp"},

@@ -1,0 +1,353 @@
+// Live-telemetry layer: ProgressBoard slot semantics, the Snapshotter's
+// NDJSON stream and Prometheus exposition, FlightRecorder ring behavior,
+// and the read-only-observer contract -- engine results are byte-identical
+// with and without a board attached.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "core/hyper_butterfly.hpp"
+#include "graph/connectivity_sweep.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/snapshot.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+#include "sim/wormhole.hpp"
+
+namespace hbnet {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::uint64_t sampled(const obs::ProgressBoard& board,
+                      const std::string& name) {
+  for (const auto& [key, value] : board.sample()) {
+    if (key == name) return value;
+  }
+  ADD_FAILURE() << "slot '" << name << "' not on the board";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// ProgressBoard
+// ---------------------------------------------------------------------------
+
+TEST(ProgressBoard, SlotSetAddAndSample) {
+  obs::ProgressBoard board;
+  obs::ProgressBoard::Slot& done = board.slot("trials_done");
+  done.set(3);
+  done.add(2);
+  EXPECT_EQ(done.value(), 5u);
+  board.slot("bound").set(6);
+  const auto sample = board.sample();  // name-sorted
+  ASSERT_EQ(sample.size(), 2u);
+  EXPECT_EQ(sample[0], (std::pair<std::string, std::uint64_t>{"bound", 6}));
+  EXPECT_EQ(sample[1],
+            (std::pair<std::string, std::uint64_t>{"trials_done", 5}));
+}
+
+TEST(ProgressBoard, SlotAddressesAreStable) {
+  obs::ProgressBoard board;
+  obs::ProgressBoard::Slot* first = &board.slot("a");
+  // Registering more slots must not move existing ones: engines cache the
+  // pointer once and hammer it from worker threads.
+  for (int i = 0; i < 100; ++i) board.slot("slot" + std::to_string(i));
+  EXPECT_EQ(first, &board.slot("a"));
+}
+
+TEST(ProgressBoard, ConcurrentAddsFromManyThreads) {
+  obs::ProgressBoard board;
+  obs::ProgressBoard::Slot& n = board.slot("n");
+  std::vector<std::thread> workers;
+  workers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&n] {
+      for (int i = 0; i < 1000; ++i) n.add(1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(n.value(), 4000u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshotter
+// ---------------------------------------------------------------------------
+
+TEST(Snapshotter, PrometheusNameMangling) {
+  EXPECT_EQ(obs::Snapshotter::prometheus_name("campaign.trials_done"),
+            "hbnet_campaign_trials_done");
+  EXPECT_EQ(obs::Snapshotter::prometheus_name(
+                "campaign.dropped{model=random,rate=0.05}"),
+            "hbnet_campaign_dropped_model_random_rate_0_05_");
+}
+
+TEST(Snapshotter, WritesStreamAndPromFiles) {
+  const std::string stream = temp_path("hbnet_snap_stream.ndjson");
+  const std::string prom = temp_path("hbnet_snap.prom");
+  std::filesystem::remove(stream);
+  std::filesystem::remove(prom);
+
+  obs::ProgressBoard board;
+  board.slot("sim.cycle").set(41);
+  obs::SnapshotterOptions opts;
+  opts.stream_path = stream;
+  opts.prom_path = prom;
+  opts.interval_ms = 10;
+  opts.job = "unit";
+  obs::Snapshotter snap(board, opts);
+  snap.start();
+  board.slot("sim.cycle").add(1);
+  snap.stop();
+  EXPECT_GE(snap.snapshots_written(), 2u);  // immediate first + final
+
+  const std::string ndjson = slurp(stream);
+  ASSERT_FALSE(ndjson.empty());
+  std::istringstream lines(ndjson);
+  std::string line;
+  std::uint64_t count = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"job\":\"unit\""), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, snap.snapshots_written());
+  // The final snapshot (taken after stop) must hold the final value.
+  EXPECT_NE(ndjson.find("\"sim.cycle\":42"), std::string::npos);
+
+  const std::string exposition = slurp(prom);
+  EXPECT_NE(exposition.find("hbnet_sim_cycle 42"), std::string::npos)
+      << exposition;
+  EXPECT_NE(exposition.find("hbnet_snapshot_unix_ms "), std::string::npos);
+  // Atomic exposition: the tmp file never outlives a write.
+  EXPECT_FALSE(std::filesystem::exists(prom + ".tmp"));
+
+  std::filesystem::remove(stream);
+  std::filesystem::remove(prom);
+}
+
+TEST(Snapshotter, StreamAppendsAcrossRestarts) {
+  const std::string stream = temp_path("hbnet_snap_append.ndjson");
+  std::filesystem::remove(stream);
+  obs::ProgressBoard board;
+  std::uint64_t first = 0;
+  {
+    obs::SnapshotterOptions opts;
+    opts.stream_path = stream;
+    opts.interval_ms = 10;
+    obs::Snapshotter snap(board, opts);
+    snap.start();
+    snap.stop();
+    first = snap.snapshots_written();
+  }
+  {
+    obs::SnapshotterOptions opts;
+    opts.stream_path = stream;
+    opts.interval_ms = 10;
+    obs::Snapshotter snap(board, opts);
+    snap.start();
+    snap.stop();
+    const std::string ndjson = slurp(stream);
+    const std::uint64_t lines = static_cast<std::uint64_t>(
+        std::count(ndjson.begin(), ndjson.end(), '\n'));
+    EXPECT_EQ(lines, first + snap.snapshots_written());
+  }
+  std::filesystem::remove(stream);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+// The recorder is process-global with no reset (crash dumps must see
+// finished threads), so every expectation filters by a tag unique to its
+// own test.
+
+TEST(FlightRecorder, RecordsFromManyThreadsWithUniqueSeq) {
+  constexpr int kThreads = 4, kPerThread = 10;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::FlightRecorder::record("ut_multi", static_cast<std::uint64_t>(t),
+                                    static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::vector<obs::FlightEvent> mine;
+  for (const obs::FlightEvent& e : obs::FlightRecorder::collect()) {
+    if (std::string(e.tag) == "ut_multi") mine.push_back(e);
+  }
+  ASSERT_EQ(mine.size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_LT(mine[i - 1].seq, mine[i].seq);  // collect() is seq-sorted
+  }
+}
+
+TEST(FlightRecorder, RingKeepsTheMostRecentEvents) {
+  // Overflow one thread's ring: only the newest kRingCapacity survive.
+  constexpr std::uint64_t kTotal = obs::FlightRecorder::kRingCapacity + 50;
+  std::thread writer([] {
+    for (std::uint64_t i = 0; i < kTotal; ++i) {
+      obs::FlightRecorder::record("ut_wrap", i);
+    }
+  });
+  writer.join();
+
+  std::uint64_t count = 0, max_a = 0;
+  for (const obs::FlightEvent& e : obs::FlightRecorder::collect()) {
+    if (std::string(e.tag) != "ut_wrap") continue;
+    ++count;
+    if (e.a > max_a) max_a = e.a;
+  }
+  EXPECT_EQ(count, static_cast<std::uint64_t>(
+                       obs::FlightRecorder::kRingCapacity));
+  EXPECT_EQ(max_a, kTotal - 1);  // the newest event survived the wrap
+}
+
+TEST(FlightRecorder, LongTagsAreTruncatedNotOverrun) {
+  obs::FlightRecorder::record(
+      "this_tag_is_far_longer_than_the_twenty_four_byte_capacity", 1);
+  bool found = false;
+  for (const obs::FlightEvent& e : obs::FlightRecorder::collect()) {
+    const std::string tag(e.tag);
+    if (tag.rfind("this_tag_is_", 0) == 0) {
+      found = true;
+      EXPECT_LT(tag.size(), obs::FlightEvent::kTagCapacity);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Engines observed by a board: progress slots agree with the returned
+// results, and the results do not change because a board was attached.
+// ---------------------------------------------------------------------------
+
+TEST(Streaming, CampaignProgressMatchesResultAndLeavesMetricsUntouched) {
+  campaign::CampaignConfig cfg;
+  cfg.m = 1;
+  cfg.n = 3;
+  cfg.models = {campaign::FaultModel::kRandom,
+                campaign::FaultModel::kAdversarial};
+  cfg.rates = {0.05};
+  cfg.fault_counts = {0, 2};
+  cfg.trials = 2;
+  cfg.seed = 7;
+  cfg.sim.warmup_cycles = 10;
+  cfg.sim.measure_cycles = 50;
+  cfg.threads = 2;
+
+  const campaign::CampaignResult plain = campaign::run_campaign(cfg);
+  obs::ProgressBoard board;
+  const campaign::CampaignResult observed =
+      campaign::run_campaign(cfg, &board);
+
+  // Observer contract: attaching the board changes nothing downstream.
+  std::ostringstream a, b;
+  plain.metrics.write_json(a);
+  observed.metrics.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  std::uint64_t injected = 0, delivered = 0, dropped = 0;
+  for (const campaign::TrialResult& t : observed.trials) {
+    injected += t.injected;
+    delivered += t.delivered;
+    dropped += t.dropped;
+  }
+  EXPECT_EQ(sampled(board, "campaign.trials_total"), observed.trials.size());
+  EXPECT_EQ(sampled(board, "campaign.trials_done"), observed.trials.size());
+  EXPECT_EQ(sampled(board, "campaign.injected"), injected);
+  EXPECT_EQ(sampled(board, "campaign.delivered"), delivered);
+  EXPECT_EQ(sampled(board, "campaign.dropped"), dropped);
+
+  // One labeled drop counter per grid cell (4 cells here), keyed like the
+  // merged metrics registry.
+  std::size_t cell_slots = 0;
+  for (const auto& [key, value] : board.sample()) {
+    if (key.rfind("campaign.dropped{", 0) == 0) ++cell_slots;
+  }
+  EXPECT_EQ(cell_slots, observed.cells.size());
+}
+
+TEST(Streaming, SweepProgressTracksBoundAndBlocks) {
+  Graph g = HyperButterfly(1, 3).to_graph();
+  obs::ProgressBoard board;
+  SweepOptions opts;
+  opts.vertex_transitive = true;
+  opts.progress = &board;
+  ConnectivitySweep sweep(g, opts);
+  const ExactConnectivityResult r = sweep.run();
+  ASSERT_TRUE(r.complete);
+  EXPECT_EQ(sampled(board, "connectivity.bound"), r.kappa);
+  EXPECT_EQ(sampled(board, "connectivity.solves"), r.solves);
+  EXPECT_EQ(sampled(board, "connectivity.pruned"), r.pruned);
+  EXPECT_EQ(sampled(board, "connectivity.stages"), r.stages);
+  EXPECT_GE(sampled(board, "connectivity.blocks"), 1u);
+}
+
+TEST(Streaming, StoreForwardProgressMatchesStats) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  SimConfig cfg;
+  cfg.warmup_cycles = 10;
+  cfg.measure_cycles = 100;
+  obs::ProgressBoard board;
+  const SimStats with = run_simulation(*topo, cfg, {}, nullptr, &board);
+  const SimStats without = run_simulation(*topo, cfg);
+  EXPECT_EQ(with.delivered(), without.delivered());
+  EXPECT_EQ(with.injected(), without.injected());
+  // The board counts deliveries across all phases (warmup included), so it
+  // is at least the measured-window count and cycles keep advancing
+  // through drain.
+  EXPECT_GE(sampled(board, "sim.delivered"), with.delivered());
+  EXPECT_GE(sampled(board, "sim.cycle"),
+            static_cast<std::uint64_t>(cfg.warmup_cycles) +
+                cfg.measure_cycles);
+  EXPECT_EQ(sampled(board, "sim.in_flight_packets"), 0u);  // fully drained
+}
+
+TEST(Streaming, WormholeProgressMatchesStats) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeConfig cfg;
+  cfg.vcs = 6;
+  cfg.policy = VcPolicy::kSegmentDateline;
+  cfg.injection_rate = 0.01;
+  cfg.warmup_cycles = 10;
+  cfg.measure_cycles = 100;
+  obs::ProgressBoard board;
+  const WormholeStats with = run_wormhole(*topo, cfg, 1, nullptr, &board);
+  const WormholeStats without = run_wormhole(*topo, cfg, 1);
+  EXPECT_EQ(with.packets.delivered(), without.packets.delivered());
+  EXPECT_GE(sampled(board, "wormhole.delivered"), with.packets.delivered());
+  EXPECT_GE(sampled(board, "wormhole.cycle"),
+            static_cast<std::uint64_t>(cfg.warmup_cycles) +
+                cfg.measure_cycles);
+  EXPECT_EQ(sampled(board, "wormhole.in_flight_flits"), 0u);
+}
+
+}  // namespace
+}  // namespace hbnet

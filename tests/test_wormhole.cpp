@@ -67,6 +67,27 @@ TEST(Wormhole, RejectsDegenerateConfigs) {
   EXPECT_THROW((void)run_wormhole(*topo, cfg), std::invalid_argument);
 }
 
+TEST(Wormhole, ValidatorNamesTheMinimumForThePolicy) {
+  // The WormholeConfig{} default (vcs = 2) only suits any/dateline; pairing
+  // it with segment-dateline is the classic footgun, so the diagnostic must
+  // name the policy, its minimum, the value given, and the default's trap.
+  WormholeConfig cfg;
+  cfg.policy = VcPolicy::kSegmentDateline;  // vcs stays at the default 2
+  const std::string err = validate_wormhole_config(cfg);
+  EXPECT_NE(err.find("'segment'"), std::string::npos) << err;
+  EXPECT_NE(err.find("at least 6"), std::string::npos) << err;
+  EXPECT_NE(err.find("got 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("default vcs = 2"), std::string::npos) << err;
+
+  cfg.vcs = 6;
+  EXPECT_TRUE(validate_wormhole_config(cfg).empty());
+  cfg.policy = VcPolicy::kDateline;
+  cfg.vcs = 2;
+  EXPECT_TRUE(validate_wormhole_config(cfg).empty());
+  EXPECT_EQ(std::string(vc_policy_name(VcPolicy::kSegmentDateline)),
+            "segment");
+}
+
 TEST(Wormhole, SingleVcButterflyDeadlocksUnderPressure) {
   // Level-ring cycles + 1 VC + deep worms: the CDG cycle materializes as an
   // operational deadlock at sufficient load.

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the committed BENCH_*.json baselines.
+
+Compares a fresh ``tools/bench_json.sh`` run against the baselines committed
+at the repository root and fails (exit 1) when any benchmark present in both
+regresses by more than the threshold (default 10% on ``real_time``).
+
+Usage:
+    tools/bench_json.sh build fresh-bench/
+    python3 tools/bench_gate.py fresh-bench/ [baseline-dir] [--threshold PCT]
+
+Rules:
+  * Only ``run_type == "iteration"`` entries are compared (aggregates such
+    as mean/median/stddev are derived values and would double-count).
+  * ``real_time`` values are normalized through ``time_unit`` before
+    comparison, so a baseline in ms gates a fresh run reported in ns.
+  * A baseline file missing from the fresh run (or vice versa), and a
+    benchmark name present on only one side, are WARNINGS, not failures --
+    new benchmarks land without a baseline until the next re-baseline.
+  * Improvements are reported but never gate.
+
+Re-baselining (see docs/performance.md): when a deliberate change moves a
+benchmark past the threshold, regenerate the artifacts on the reference
+machine with ``tools/bench_json.sh build .`` and commit the updated
+BENCH_*.json alongside the change that explains them.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Factors to nanoseconds; benchmark JSON time_unit values.
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_iterations(path):
+    """name -> real_time in ns for every iteration entry of one JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench.get("name")
+        real = bench.get("real_time")
+        unit = bench.get("time_unit", "ns")
+        if name is None or real is None:
+            continue
+        out[name] = float(real) * _UNIT_NS.get(unit, 1.0)
+    return out
+
+
+def fmt_ns(ns):
+    for unit, factor in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= factor:
+            return f"{ns / factor:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate fresh bench_json.sh output against committed "
+        "BENCH_*.json baselines."
+    )
+    parser.add_argument("fresh_dir", type=pathlib.Path,
+                        help="directory holding the fresh BENCH_*.json run")
+    parser.add_argument("baseline_dir", type=pathlib.Path, nargs="?",
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="directory holding the committed baselines "
+                        "(default: repository root)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated real_time regression in percent "
+                        "(default: 10)")
+    args = parser.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench-gate: no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    warnings = []
+    compared = 0
+
+    fresh_files = {p.name for p in args.fresh_dir.glob("BENCH_*.json")}
+    for extra in sorted(fresh_files - {p.name for p in baselines}):
+        warnings.append(f"{extra}: fresh file has no committed baseline")
+
+    for base_path in baselines:
+        fresh_path = args.fresh_dir / base_path.name
+        if not fresh_path.is_file():
+            warnings.append(f"{base_path.name}: no fresh run to compare")
+            continue
+        base = load_iterations(base_path)
+        fresh = load_iterations(fresh_path)
+        for name in sorted(set(base) - set(fresh)):
+            warnings.append(f"{base_path.name}: '{name}' missing from fresh "
+                            "run (filter change?)")
+        for name in sorted(set(fresh) - set(base)):
+            warnings.append(f"{base_path.name}: '{name}' is new -- no "
+                            "baseline yet")
+        for name in sorted(set(base) & set(fresh)):
+            compared += 1
+            delta = 100.0 * (fresh[name] / base[name] - 1.0)
+            line = (f"{base_path.name}: {name}: "
+                    f"{fmt_ns(base[name])} -> {fmt_ns(fresh[name])} "
+                    f"({delta:+.1f}%)")
+            if delta > args.threshold:
+                failures.append(line)
+            else:
+                print(f"ok    {line}")
+
+    for w in warnings:
+        print(f"warn  {w}")
+    for f in failures:
+        print(f"FAIL  {f}")
+
+    print(f"bench-gate: {compared} compared, {len(failures)} regressions "
+          f"(> {args.threshold:g}%), {len(warnings)} warnings")
+    if failures:
+        print("bench-gate: deliberate? re-baseline with "
+              "'tools/bench_json.sh build .' and commit the new BENCH_*.json "
+              "(docs/performance.md).")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -381,6 +381,10 @@ const std::vector<RuleInfo> kRules = {
      "wall clocks (system/steady/high_resolution_clock, clock_gettime, ...) "
      "are banned in library code; simulators count cycles, benches use the "
      "benchmark framework"},
+    {"wall-clock-outside-obs",
+     "std::chrono is confined to src/obs/ (the telemetry layer timestamps "
+     "snapshots); every other library file is cycle-based and "
+     "deterministic"},
     {"unordered-iteration",
      "no range-for over unordered_map/unordered_set; extract keys, sort, "
      "then iterate"},
@@ -440,11 +444,20 @@ void run_rules(FileCtx& ctx) {
   rule_unordered_iteration(ctx);
 
   if (ctx.scope == Scope::kLibrary) {
-    static const std::regex kClock(
-        R"(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday)\b)");
-    flag_lines(ctx, kClock, "no-wall-clock",
-               "wall clock in library code; simulators are cycle-based and "
-               "deterministic, timing belongs in bench/");
+    // The obs/ telemetry layer is the one library component allowed to read
+    // clocks (snapshot timestamps, exporter cadence); everywhere else both
+    // the clock types and <chrono> itself are banned.
+    if (!ctx.in_obs) {
+      static const std::regex kClock(
+          R"(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday)\b)");
+      flag_lines(ctx, kClock, "no-wall-clock",
+                 "wall clock in library code; simulators are cycle-based and "
+                 "deterministic, timing belongs in bench/");
+      static const std::regex kChrono(R"(\bchrono\b)");
+      flag_lines(ctx, kChrono, "wall-clock-outside-obs",
+                 "std::chrono outside src/obs/; engines count cycles -- only "
+                 "the telemetry layer may touch time");
+    }
     static const std::regex kAssert(R"(\bassert\s*\()");
     flag_lines(ctx, kAssert, "no-bare-assert",
                "bare assert(); use HBNET_CHECK (always on) or HBNET_DCHECK "
@@ -489,16 +502,17 @@ std::vector<Diagnostic> lint_content(const std::string& path,
                path.find("obs\\") != std::string::npos;
   ctx.scope = scope_of_path(path);
   // Fixture pragma: lets a file under tests/lint_fixtures/ be linted as if
-  // it lived in src/ or tools/.
+  // it lived in src/, src/obs/, or tools/.
   static const std::regex kScopePragma(
-      R"(hblint-scope:\s*(src|tools|tests))");
+      R"(hblint-scope:\s*(src|obs|tools|tests))");
   std::smatch m;
   if (std::regex_search(content, m, kScopePragma)) {
     const std::string s = m[1].str();
-    ctx.scope = s == "src"     ? Scope::kLibrary
-                : s == "tools" ? Scope::kTools
-                               : Scope::kTests;
+    ctx.scope = (s == "src" || s == "obs") ? Scope::kLibrary
+                : s == "tools"             ? Scope::kTools
+                                           : Scope::kTests;
     if (s == "src") ctx.in_obs = false;
+    if (s == "obs") ctx.in_obs = true;
   }
   ctx.blanked = blank_noncode(content);
   ctx.lines = split_lines(ctx.blanked);

@@ -23,16 +23,28 @@
 //   --policy any|dateline|segment (wormhole) --valiant (sim) --seed S
 //   --threads N --trace-out FILE --metrics-out FILE --links-csv FILE
 //
+// Live telemetry (campaign, analyze --exact-connectivity, wormhole, sim):
+//   --stream-out FILE writes an NDJSON snapshot stream plus a Prometheus
+//   text exposition (FILE.prom unless --prom-out overrides) while the run
+//   is in flight; --progress renders a single rewriting status line on
+//   stderr. Both are read-only observers -- results stay byte-identical
+//   with them on or off (tools/test_stream_determinism.sh enforces it).
+//
 // Every numeric argv token goes through campaign/grid.hpp's checked
 // parsers: a malformed or partial token ("4x", "", "1e999") prints usage
 // and exits nonzero instead of dying on an uncaught std::stoul exception.
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "analysis/cuts.hpp"
@@ -45,8 +57,11 @@
 #include "graph/connectivity_sweep.hpp"
 #include "graph/io.hpp"
 #include "graph/parallel_bfs.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/sink.hpp"
+#include "obs/snapshot.hpp"
 #include "par/pool.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wormhole.hpp"
@@ -86,6 +101,13 @@ int usage() {
          "  --trace-out FILE    Chrome trace JSON (chrome://tracing, Perfetto)\n"
          "  --metrics-out FILE  metrics/links/timeseries JSON\n"
          "  --links-csv FILE    per-link utilization CSV\n"
+         "live telemetry (campaign / analyze --exact-connectivity /\n"
+         "wormhole / sim; results stay byte-identical with it on or off):\n"
+         "  --stream-out FILE   append-only NDJSON snapshot stream; also\n"
+         "                      writes FILE.prom (Prometheus text format)\n"
+         "  --prom-out FILE     override the Prometheus exposition path\n"
+         "  --stream-interval-ms MS  snapshot interval (default 200)\n"
+         "  --progress          single rewriting status line on stderr\n"
          "options for campaign:\n"
          "  --models M1,M2      random|adversarial|events (default random)\n"
          "  --rates R1,R2       injection rates in (0,1] (default 0.05)\n"
@@ -146,6 +168,10 @@ struct SimFlags {
   hbnet::VcPolicy policy = hbnet::VcPolicy::kSegmentDateline;
   bool valiant = false;
   std::string trace_out, metrics_out, links_csv;
+  // Live telemetry: NDJSON stream / Prometheus exposition / TTY line.
+  std::string stream_out, prom_out;
+  std::uint64_t stream_interval_ms = 200;
+  bool progress = false;
 };
 
 bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
@@ -160,6 +186,22 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
     };
     if (a == "--valiant") {
       f.valiant = true;
+    } else if (a == "--progress") {
+      f.progress = true;
+    } else if (a == "--stream-out") {
+      const char* v = next("--stream-out");
+      if (!v) return false;
+      f.stream_out = v;
+    } else if (a == "--prom-out") {
+      const char* v = next("--prom-out");
+      if (!v) return false;
+      f.prom_out = v;
+    } else if (a == "--stream-interval-ms") {
+      const char* v = next("--stream-interval-ms");
+      if (!v ||
+          !parse_flag_u64("--stream-interval-ms", v, f.stream_interval_ms)) {
+        return false;
+      }
     } else if (a == "--rate") {
       const char* v = next("--rate");
       if (!v || !parse_flag_double("--rate", v, f.rate)) return false;
@@ -232,6 +274,110 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
   return true;
 }
 
+/// Single rewriting status line on stderr, sampling a ProgressBoard at
+/// ~10 Hz from its own thread. Shows unlabeled slots only (per-cell slots
+/// would overflow one line); stop() renders the final state and moves to
+/// a fresh line. Tools scope: wall-clock pacing is fine here.
+class ProgressLine {
+ public:
+  explicit ProgressLine(const hbnet::obs::ProgressBoard& board)
+      : board_(board), thread_([this] { run(); }) {}
+  ~ProgressLine() { stop(); }
+  ProgressLine(const ProgressLine&) = delete;
+  ProgressLine& operator=(const ProgressLine&) = delete;
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    render();
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(100),
+                   [this] { return stopped_; });
+      if (stopped_) break;
+      lock.unlock();
+      render();
+      lock.lock();
+    }
+  }
+
+  void render() {
+    std::string line;
+    for (const auto& [name, value] : board_.sample()) {
+      if (name.find('{') != std::string::npos) continue;  // labeled slots
+      if (!line.empty()) line += "  ";
+      line += name + "=" + std::to_string(value);
+    }
+    // \r + erase-to-end keeps it a single rewriting line on a TTY.
+    std::fprintf(stderr, "\r\033[K%s", line.c_str());
+    std::fflush(stderr);
+  }
+
+  const hbnet::obs::ProgressBoard& board_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+/// The live-telemetry attachments of one run: the progress board the
+/// engine writes into, plus (when requested) the Snapshotter exporting it
+/// to files and/or the TTY status line. Everything here observes; the
+/// engine result is byte-identical whether streaming is on or off.
+struct Streaming {
+  hbnet::obs::ProgressBoard board;
+  std::unique_ptr<hbnet::obs::Snapshotter> snapshotter;
+  std::unique_ptr<ProgressLine> line;
+
+  ~Streaming() { stop(); }
+
+  void start(const std::string& stream_out, const std::string& prom_out,
+             std::uint64_t interval_ms, bool progress, const char* job) {
+    if (!stream_out.empty() || !prom_out.empty()) {
+      hbnet::obs::SnapshotterOptions opts;
+      opts.stream_path = stream_out;
+      opts.prom_path = !prom_out.empty()
+                           ? prom_out
+                           : (stream_out.empty() ? std::string()
+                                                 : stream_out + ".prom");
+      opts.interval_ms = interval_ms;
+      opts.job = job;
+      snapshotter =
+          std::make_unique<hbnet::obs::Snapshotter>(board, std::move(opts));
+      snapshotter->start();
+    }
+    if (progress) line = std::make_unique<ProgressLine>(board);
+  }
+
+  void start(const SimFlags& f, const char* job) {
+    start(f.stream_out, f.prom_out, f.stream_interval_ms, f.progress, job);
+  }
+
+  /// The board when any surface is active, else nullptr -- so engines see
+  /// a null progress pointer (and skip all slot work) on plain runs.
+  [[nodiscard]] hbnet::obs::ProgressBoard* board_or_null() {
+    return (snapshotter != nullptr || line != nullptr) ? &board : nullptr;
+  }
+
+  void stop() {
+    if (line) line->stop();
+    if (snapshotter) snapshotter->stop();
+    line.reset();
+    snapshotter.reset();
+  }
+};
+
 /// Writes the sink's exports to the files requested by the flags.
 /// Returns false on I/O failure.
 bool export_sink(const hbnet::obs::Sink& sink, const SimFlags& f) {
@@ -286,7 +432,8 @@ void print_node(const HyperButterfly& hb, HbNode v) {
 /// Corollary-1 value m+4.
 int run_exact_connectivity(const HyperButterfly& hb,
                            const std::string& checkpoint,
-                           const std::string& metrics_out) {
+                           const std::string& metrics_out,
+                           const SimFlags& stream_flags) {
   hbnet::Graph g = hb.to_graph();
   hbnet::obs::MetricsRegistry metrics;
   hbnet::par::ThreadPool probe;
@@ -295,10 +442,14 @@ int run_exact_connectivity(const HyperButterfly& hb,
             << " nodes, " << g.num_edges() << " edges  (" << probe.size()
             << " threads)\n";
 
+  Streaming streaming;
+  streaming.start(stream_flags, "connectivity");
+
   hbnet::SweepOptions opts;
   opts.vertex_transitive = true;  // Cayley graph: single-source is exact
   opts.checkpoint_path = checkpoint;
   opts.metrics = &metrics;
+  opts.progress = streaming.board_or_null();
   opts.on_block = [](const hbnet::SweepState& st,
                      std::uint32_t stage_blocks) {
     std::cout << "  stage " << st.stages_done << " block " << st.blocks_done
@@ -320,6 +471,7 @@ int run_exact_connectivity(const HyperButterfly& hb,
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  streaming.stop();
 
   if (!metrics_out.empty()) {
     std::ofstream os(metrics_out);
@@ -490,6 +642,7 @@ int run(int argc, char** argv) {
     bool audit = false;
     bool exact = false;
     std::string checkpoint, metrics_out;
+    SimFlags stream_flags;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--threads" && i + 1 < argc) {
@@ -502,16 +655,30 @@ int run(int argc, char** argv) {
         audit = true;
       } else if (a == "--exact-connectivity") {
         exact = true;
+      } else if (a == "--progress") {
+        stream_flags.progress = true;
       } else if (a == "--checkpoint" && i + 1 < argc) {
         checkpoint = argv[++i];
       } else if (a == "--metrics-out" && i + 1 < argc) {
         metrics_out = argv[++i];
+      } else if (a == "--stream-out" && i + 1 < argc) {
+        stream_flags.stream_out = argv[++i];
+      } else if (a == "--prom-out" && i + 1 < argc) {
+        stream_flags.prom_out = argv[++i];
+      } else if (a == "--stream-interval-ms" && i + 1 < argc) {
+        if (!parse_flag_u64("--stream-interval-ms", argv[++i],
+                            stream_flags.stream_interval_ms)) {
+          return usage();
+        }
       } else {
         std::cerr << "unknown option " << a << "\n";
         return usage();
       }
     }
-    if (exact) return run_exact_connectivity(hb, checkpoint, metrics_out);
+    if (exact) {
+      return run_exact_connectivity(hb, checkpoint, metrics_out,
+                                    stream_flags);
+    }
     hbnet::par::ThreadPool probe;
     hbnet::Graph g = hb.to_graph();
     std::cout << "analyze HB(" << m << "," << n << ")  (" << probe.size()
@@ -551,9 +718,13 @@ int run(int argc, char** argv) {
       cfg.seed = flags.seed;
       cfg.pattern = flags.pattern;
       cfg.policy = flags.policy;
+      Streaming streaming;
+      streaming.start(flags, "wormhole");
       // The butterfly level coordinate is node id mod n: the ring arity
       // the dateline VC classes are computed from.
-      hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, n, &sink);
+      hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, n, &sink,
+                                                   streaming.board_or_null());
+      streaming.stop();
       std::cout << "wormhole HB(" << m << "," << n << ") "
                 << topo->num_nodes() << " nodes, rate " << flags.rate
                 << ", " << s.cycles << " cycles"
@@ -573,7 +744,11 @@ int run(int argc, char** argv) {
     cfg.pattern = flags.pattern;
     cfg.routing = flags.valiant ? hbnet::RoutingMode::kValiant
                                 : hbnet::RoutingMode::kNative;
-    hbnet::SimStats s = hbnet::run_simulation(*topo, cfg, {}, &sink);
+    Streaming streaming;
+    streaming.start(flags, "sim");
+    hbnet::SimStats s = hbnet::run_simulation(*topo, cfg, {}, &sink,
+                                              streaming.board_or_null());
+    streaming.stop();
     std::cout << "sim HB(" << m << "," << n << ") " << topo->num_nodes()
               << " nodes, rate " << flags.rate << "\n  " << s.summary()
               << "\n  p50=" << s.latency_percentile(0.5)
@@ -587,8 +762,14 @@ int run(int argc, char** argv) {
     cfg.m = m;
     cfg.n = n;
     std::string metrics_out, csv_out;
+    SimFlags stream_flags;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
+      // Value-less flags come before the "needs a value" check.
+      if (a == "--progress") {
+        stream_flags.progress = true;
+        continue;
+      }
       if (i + 1 >= argc) {
         std::cerr << a << " needs a value\n";
         return usage();
@@ -651,12 +832,25 @@ int run(int argc, char** argv) {
         metrics_out = v;
       } else if (a == "--csv") {
         csv_out = v;
+      } else if (a == "--stream-out") {
+        stream_flags.stream_out = v;
+      } else if (a == "--prom-out") {
+        stream_flags.prom_out = v;
+      } else if (a == "--stream-interval-ms") {
+        if (!parse_flag_u64("--stream-interval-ms", v,
+                            stream_flags.stream_interval_ms)) {
+          return usage();
+        }
       } else {
         std::cerr << "unknown option " << a << "\n";
         return usage();
       }
     }
-    const camp::CampaignResult result = camp::run_campaign(cfg);
+    Streaming streaming;
+    streaming.start(stream_flags, "campaign");
+    const camp::CampaignResult result =
+        camp::run_campaign(cfg, streaming.board_or_null());
+    streaming.stop();
     std::cout << "campaign HB(" << m << "," << n << ") engine "
               << camp::engine_name(cfg.engine) << ", " << result.trials.size()
               << " trials over " << result.cells.size() << " cells (seed "
@@ -687,6 +881,10 @@ int run(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
+  // Postmortem triage: an HBNET_CHECK failure or fatal signal dumps the
+  // flight recorder's recent engine events (trial/sweep/checkpoint
+  // context) to stderr before the process dies.
+  hbnet::obs::FlightRecorder::install_crash_dump();
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
