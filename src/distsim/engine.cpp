@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "distsim/sync_engine.hpp"
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 
 namespace hbnet {
+
+namespace {
+
+/// A protocol message in transit through the sync::Exchange core.
+struct WireMsg {
+  NodeId to;
+  std::uint32_t link;  // receiver-side link index
+  Payload payload;
+};
+
+}  // namespace
 
 RunResult run_protocol(const Graph& g, const Protocol& protocol,
                        std::uint64_t max_rounds, obs::Sink* sink) {
@@ -29,19 +41,28 @@ RunResult run_protocol(const Graph& g, const Protocol& protocol,
   };
 
   RunResult result;
-  std::vector<std::vector<Delivery>> inbox(n), next_inbox(n);
+  std::vector<std::vector<Delivery>> inbox(n);
+
+  // Protocols capture shared mutable state in their closures, so processes
+  // must run serially -- this engine uses the sync core's single-shard
+  // degenerate case: one contiguous shard, compute in ascending id order,
+  // exchange, deliver in ascending sender order. The sharded packet engine
+  // (sim/sharded.cpp) runs the same discipline with many shards.
+  const sync::ShardPlan plan(n, 1);
+  sync::Exchange<WireMsg> exchange(plan.shards());
 
   if (protocol.on_init) {
     for (NodeId v = 0; v < n; ++v) protocol.on_init(ctx[v]);
   }
   for (std::uint64_t round = 0; round < max_rounds; ++round) {
-    // Move outboxes into next-round inboxes.
+    // Compute phase output: move outboxes into the exchange.
     bool any_message = false;
     std::uint64_t round_messages = 0;
     for (NodeId v = 0; v < n; ++v) {
       for (Delivery& d : ctx[v].outbox()) {
         NodeId to = g.neighbors(v)[d.link];
-        next_inbox[to].push_back({link_of(to, v), std::move(d.payload)});
+        exchange.push(0, plan.shard_of(to) /* == 0 */,
+                      {to, link_of(to, v), std::move(d.payload)});
         ++result.messages;
         ++round_messages;
         any_message = true;
@@ -63,7 +84,11 @@ RunResult run_protocol(const Graph& g, const Protocol& protocol,
     ++result.rounds;
     HBNET_TRACE_BEGIN(sink, "distsim", "round", 0, 0, round,
                       {{"messages", round_messages}});
-    inbox.swap(next_inbox);
+    // Deliver phase: drain the exchange (ascending sender order) into this
+    // round's inboxes, then run every process.
+    exchange.drain(0, [&inbox](WireMsg& m) {
+      inbox[m.to].push_back({m.link, std::move(m.payload)});
+    });
     for (NodeId v = 0; v < n; ++v) {
       if (!ctx[v].halted()) protocol.on_round(ctx[v], inbox[v]);
       inbox[v].clear();

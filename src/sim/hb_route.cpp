@@ -1,0 +1,26 @@
+#include "sim/hb_route.hpp"
+
+#include <type_traits>
+
+#include "check/check.hpp"
+
+namespace hbnet::sim {
+
+static_assert(std::is_trivially_copyable_v<HbRouteState> &&
+                  sizeof(HbRouteState) <= 16,
+              "HbRouteState is the per-packet route footprint");
+
+HbRouteState HbImplicitRouter::plan(HbNode src, HbNode dst) const {
+  HbRouteState st;
+  st.cube_diff = src.cube ^ dst.cube;
+  st.word_diff = src.bfly.word ^ dst.bfly.word;
+  const CoveringWalkPlan walk =
+      plan_covering_walk(n_, src.bfly.level, dst.bfly.level, st.word_diff);
+  for (unsigned i = 0; i < 3; ++i) {
+    st.run[i] = static_cast<std::uint8_t>(walk.run(i));
+  }
+  st.dir0 = static_cast<std::int8_t>(walk.dir(0));
+  return st;
+}
+
+}  // namespace hbnet::sim

@@ -131,6 +131,8 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
   SfTelemetry telem(sink, n, config, progress);
+  // Hoisted per-cycle scratch: cleared each cycle, capacity persists.
+  std::vector<std::pair<std::uint32_t, Packet>> moving;
 
   std::uint64_t cycle = 0;
   for (; cycle < horizon; ++cycle) {
@@ -184,7 +186,7 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
     // Forwarding phase: each node services up to service_rate head packets.
     // Two-phase update (collect then place) keeps per-cycle semantics: a
     // packet moves one hop per cycle at most.
-    std::vector<std::pair<std::uint32_t, Packet>> moving;
+    moving.clear();
     for (std::uint32_t v = 0; v < n; ++v) {
       for (unsigned s = 0; s < config.service_rate && !queue[v].empty(); ++s) {
         Packet pkt = std::move(queue[v].front());
@@ -246,6 +248,8 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   std::uint64_t in_flight = 0;
   SfTelemetry telem(sink, n, config, progress);
+  // Hoisted per-cycle scratch: cleared each cycle, capacity persists.
+  std::vector<std::pair<std::uint32_t, Packet>> moving;
 
   std::uint64_t cycle = 0;
   for (; cycle < horizon; ++cycle) {
@@ -296,7 +300,7 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
       }
     }
 
-    std::vector<std::pair<std::uint32_t, Packet>> moving;
+    moving.clear();
     for (std::uint32_t v = 0; v < n; ++v) {
       for (unsigned s = 0; s < config.service_rate && !queue[v].empty(); ++s) {
         Packet pkt = std::move(queue[v].front());

@@ -24,6 +24,18 @@ class SimStats {
   void record_injection() { ++injected_; }
   void record_drop() { ++dropped_; }
 
+  /// Folds another shard's stats into this one. Histogram bucket counts and
+  /// the integer counters are commutative sums, and the histogram's double
+  /// sum stays exact (integer-valued latencies, totals far below 2^53), so
+  /// merging per-shard stats in shard order yields the same result for
+  /// every shard count.
+  void merge(const SimStats& other) {
+    latency_.merge(other.latency_);
+    total_hops_ += other.total_hops_;
+    injected_ += other.injected_;
+    dropped_ += other.dropped_;
+  }
+
   [[nodiscard]] std::uint64_t delivered() const { return latency_.count(); }
   [[nodiscard]] std::uint64_t injected() const { return injected_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }

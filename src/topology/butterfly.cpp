@@ -110,6 +110,53 @@ std::vector<int> solve_covering_walk(unsigned n, unsigned start, unsigned end,
   return steps;
 }
 
+CoveringWalkPlan plan_covering_walk(unsigned n, unsigned start, unsigned end,
+                                    std::uint64_t required) {
+  // Same lift as solve_covering_walk, evaluated in O(n) instead of O(n^2):
+  // for a fixed right extreme c, coverage pins the minimum left extreme
+  // d(c) = n - (smallest required residue >= c), because residues below c
+  // are inside [0, c) and everything at or above the smallest uncovered one
+  // must be reached from the wrapped side [n-d, n). Cost 2(c+d) -+ tau is
+  // monotone in d, so only d(c) -- bumped to n-delta when tau = delta-n
+  // needs the deeper left extreme -- can be optimal.
+  if (start >= n || end >= n) {
+    throw std::invalid_argument("plan_covering_walk: level out of range");
+  }
+  const int ni = static_cast<int>(n);
+  const int delta =
+      ((static_cast<int>(end) - static_cast<int>(start)) % ni + ni) % ni;
+
+  // suffix_min[c] = smallest required residue >= c (relative to start),
+  // or n when there is none.
+  std::array<int, 65> suffix_min{};
+  suffix_min[n] = ni;
+  for (int c = ni - 1; c >= 0; --c) {
+    const unsigned k = (start + static_cast<unsigned>(c)) % n;
+    suffix_min[c] = ((required >> k) & 1) ? c : suffix_min[c + 1];
+  }
+
+  int best_cost = std::numeric_limits<int>::max();
+  CoveringWalkPlan best;
+  auto consider = [&](int c, int d, int tau) {
+    if (d > ni || tau < -d || tau > c) return;
+    for (const bool left_first : {true, false}) {
+      const int cost = 2 * (c + d) + (left_first ? -tau : tau);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = {static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d),
+                static_cast<std::int8_t>(tau), left_first};
+      }
+    }
+  };
+  for (int c = 0; c <= ni; ++c) {
+    const int d_min = suffix_min[c] == ni ? 0 : ni - suffix_min[c];
+    consider(c, d_min, delta);
+    consider(c, std::max(d_min, ni - delta), delta - ni);
+    if (c == ni && delta == 0) consider(c, d_min, ni);
+  }
+  return best;
+}
+
 unsigned covering_walk_length(unsigned n, unsigned start, unsigned end,
                               std::uint64_t required) {
   // Same enumeration as solve_covering_walk without materializing steps.

@@ -59,6 +59,43 @@ enum class BflyGen : std::uint8_t { kG, kF, kGInv, kFInv };
                                                    unsigned end,
                                                    std::uint64_t required);
 
+/// A minimum covering walk in closed form: lifted to the integer line
+/// anchored at `start`, an optimal walk visits the interval [-down, up] and
+/// ends at offset tau, sweeping to one extreme first and then the other.
+/// That is three monotone runs -- run(i) unit steps in direction
+/// dir(i) = -+dir(0) -- so a packet can carry the whole remaining route in a
+/// few bytes and advance it in O(1) per hop (the sharded simulator's
+/// implicit-routing representation).
+struct CoveringWalkPlan {
+  std::uint8_t up = 0;       // right extreme of the lifted interval
+  std::uint8_t down = 0;     // left extreme (as a magnitude)
+  std::int8_t tau = 0;       // final offset, tau == end - start (mod n)
+  bool left_first = false;   // sweep to -down before +up
+  [[nodiscard]] unsigned length() const {
+    const int t = left_first ? -tau : tau;
+    return static_cast<unsigned>(2 * (int{up} + int{down}) + t);
+  }
+  /// Steps per monotone run, in traversal order.
+  [[nodiscard]] unsigned run(unsigned i) const {
+    const int c = up, d = down;
+    const int steps = left_first ? (i == 0 ? d : i == 1 ? d + c : c - tau)
+                                 : (i == 0 ? c : i == 1 ? c + d : tau + d);
+    return static_cast<unsigned>(steps);
+  }
+  /// Direction of run i (+1 = clockwise / g-direction).
+  [[nodiscard]] int dir(unsigned i) const {
+    const int first = left_first ? -1 : 1;
+    return i == 1 ? -first : first;
+  }
+};
+
+/// Computes a minimum covering walk in O(n): same optimal length as
+/// solve_covering_walk (pinned exhaustively in tests), but returns the
+/// compact three-run form instead of materializing the step vector.
+[[nodiscard]] CoveringWalkPlan plan_covering_walk(unsigned n, unsigned start,
+                                                  unsigned end,
+                                                  std::uint64_t required);
+
 /// Length of the optimal covering walk without materializing it.
 [[nodiscard]] unsigned covering_walk_length(unsigned n, unsigned start,
                                             unsigned end,

@@ -13,6 +13,11 @@
 #   BENCH_campaign.json      -- BM_Campaign/1|2|4: the fault-injection
 #                               campaign engine sweeping one fixed grid at
 #                               1, 2, and 4 pool threads
+#   BENCH_simulation.json    -- BM_SimSerialHb28 vs BM_SimShardedHb28/1|2|4
+#                               (serial vs sharded datapath at equal node
+#                               count) and BM_SimShardedMillion/0|1|2 (the
+#                               1.8M-node HB(3,14) run under uniform,
+#                               shuffle, and hotspot traffic)
 #
 # Usage: tools/bench_json.sh [build-dir] [output-dir]
 # Defaults: build-dir = build, output-dir = current directory.
@@ -23,7 +28,8 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 
-for bin in bench_wormhole bench_connectivity bench_campaign; do
+for bin in bench_wormhole bench_connectivity bench_campaign \
+           bench_simulation; do
   if [[ ! -x "${BUILD_DIR}/bench/${bin}" ]]; then
     echo "error: ${BUILD_DIR}/bench/${bin} not built" \
          "(cmake --build ${BUILD_DIR} --target ${bin})" >&2
@@ -46,6 +52,12 @@ done
     --benchmark_out="${OUT_DIR}/BENCH_campaign.json" \
     --benchmark_out_format=json
 
+"${BUILD_DIR}/bench/bench_simulation" \
+    --benchmark_filter='BM_Sim(Serial|Sharded)' \
+    --benchmark_out="${OUT_DIR}/BENCH_simulation.json" \
+    --benchmark_out_format=json
+
 echo "wrote ${OUT_DIR}/BENCH_wormhole.json," \
-     "${OUT_DIR}/BENCH_connectivity.json and" \
-     "${OUT_DIR}/BENCH_campaign.json"
+     "${OUT_DIR}/BENCH_connectivity.json," \
+     "${OUT_DIR}/BENCH_campaign.json and" \
+     "${OUT_DIR}/BENCH_simulation.json"

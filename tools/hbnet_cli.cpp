@@ -63,6 +63,7 @@
 #include "obs/sink.hpp"
 #include "obs/snapshot.hpp"
 #include "par/pool.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wormhole.hpp"
 
@@ -95,9 +96,14 @@ int usage() {
          "  campaign <m> <n> [options]     deterministic fault-injection\n"
          "                                 campaign over the thread pool\n"
          "options for wormhole/sim:\n"
-         "  --rate R --cycles C --vcs V --flits F --seed S --threads N\n"
+         "  --rate R --cycles C --warmup W --drain D --vcs V --flits F\n"
+         "  --seed S --threads N\n"
          "  --pattern uniform|complement|reversal|shuffle|hotspot\n"
          "  --policy any|dateline|segment   --valiant\n"
+         "  --shards S          sim only: run the sharded synchronous\n"
+         "                      engine (counter-based traffic; 0 = one\n"
+         "                      shard per worker). Results are identical\n"
+         "                      for every --threads x --shards choice\n"
          "  --trace-out FILE    Chrome trace JSON (chrome://tracing, Perfetto)\n"
          "  --metrics-out FILE  metrics/links/timeseries JSON\n"
          "  --links-csv FILE    per-link utilization CSV\n"
@@ -157,12 +163,19 @@ bool parse_flag_double(const char* flag, const char* v, double& out) {
   return true;
 }
 
+/// Sentinel for "flag not given, keep the engine's default".
+constexpr std::uint64_t kFlagUnset = ~std::uint64_t{0};
+
 /// Shared flags for the telemetry-producing commands.
 struct SimFlags {
   double rate = 0.05;
   std::uint64_t cycles = 400;
+  std::uint64_t warmup = kFlagUnset;
+  std::uint64_t drain = kFlagUnset;
   unsigned vcs = 6;
   unsigned flits = 4;
+  unsigned shards = 0;   // 0 = one shard per pool worker
+  bool sharded = false;  // --shards given: use the sharded engine
   std::uint64_t seed = 42;
   hbnet::TrafficPattern pattern = hbnet::TrafficPattern::kUniform;
   hbnet::VcPolicy policy = hbnet::VcPolicy::kSegmentDateline;
@@ -208,6 +221,16 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
     } else if (a == "--cycles") {
       const char* v = next("--cycles");
       if (!v || !parse_flag_u64("--cycles", v, f.cycles)) return false;
+    } else if (a == "--warmup") {
+      const char* v = next("--warmup");
+      if (!v || !parse_flag_u64("--warmup", v, f.warmup)) return false;
+    } else if (a == "--drain") {
+      const char* v = next("--drain");
+      if (!v || !parse_flag_u64("--drain", v, f.drain)) return false;
+    } else if (a == "--shards") {
+      const char* v = next("--shards");
+      if (!v || !parse_flag_unsigned("--shards", v, f.shards)) return false;
+      f.sharded = true;
     } else if (a == "--vcs") {
       const char* v = next("--vcs");
       if (!v || !parse_flag_unsigned("--vcs", v, f.vcs)) return false;
@@ -715,6 +738,8 @@ int run(int argc, char** argv) {
       cfg.flits_per_packet = flags.flits;
       cfg.injection_rate = flags.rate;
       cfg.measure_cycles = flags.cycles;
+      if (flags.warmup != kFlagUnset) cfg.warmup_cycles = flags.warmup;
+      if (flags.drain != kFlagUnset) cfg.drain_cycles = flags.drain;
       cfg.seed = flags.seed;
       cfg.pattern = flags.pattern;
       cfg.policy = flags.policy;
@@ -736,20 +761,36 @@ int run(int argc, char** argv) {
       return s.deadlocked ? 1 : 0;
     }
 
-    auto topo = hbnet::make_hyper_butterfly_sim(m, n);
     hbnet::SimConfig cfg;
     cfg.injection_rate = flags.rate;
     cfg.measure_cycles = flags.cycles;
+    if (flags.warmup != kFlagUnset) cfg.warmup_cycles = flags.warmup;
+    if (flags.drain != kFlagUnset) cfg.drain_cycles = flags.drain;
     cfg.seed = flags.seed;
     cfg.pattern = flags.pattern;
     cfg.routing = flags.valiant ? hbnet::RoutingMode::kValiant
                                 : hbnet::RoutingMode::kNative;
+    // Telemetry aggregation is pay-for-what-you-watch: skip it entirely
+    // when nothing will be exported (at 10^6+ nodes the link/occupancy
+    // tables dominate an otherwise interactive run).
+    hbnet::obs::Sink* sink_ptr = !flags.trace_out.empty() ||
+                                         !flags.metrics_out.empty() ||
+                                         !flags.links_csv.empty()
+                                     ? &sink
+                                     : nullptr;
     Streaming streaming;
     streaming.start(flags, "sim");
-    hbnet::SimStats s = hbnet::run_simulation(*topo, cfg, {}, &sink,
-                                              streaming.board_or_null());
+    hbnet::SimStats s;
+    if (flags.sharded) {
+      s = hbnet::run_simulation_sharded(hb, cfg, flags.shards, 0, sink_ptr,
+                                        streaming.board_or_null());
+    } else {
+      auto topo = hbnet::make_hyper_butterfly_sim(m, n);
+      s = hbnet::run_simulation(*topo, cfg, {}, sink_ptr,
+                                streaming.board_or_null());
+    }
     streaming.stop();
-    std::cout << "sim HB(" << m << "," << n << ") " << topo->num_nodes()
+    std::cout << "sim HB(" << m << "," << n << ") " << hb.num_nodes()
               << " nodes, rate " << flags.rate << "\n  " << s.summary()
               << "\n  p50=" << s.latency_percentile(0.5)
               << " max=" << s.max_latency() << "\n";
