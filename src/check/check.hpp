@@ -21,7 +21,7 @@
 // failure (so building a std::string there is free on the passing path).
 // `_OK` variants take an expression returning std::string -- empty means
 // valid, non-empty is the failure description (the contract of the
-// check::validate overloads in check/validate.hpp).
+// check::validate overloads in graph/validate.hpp and core/validate.hpp).
 //
 // hblint enforces this layer: bare `assert(` in src/ is a lint error
 // (rule no-bare-assert); use these macros instead.

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "core/validate.hpp"
 #include "graph/builder.hpp"
 
 namespace hbnet {
@@ -18,7 +18,7 @@ HyperButterfly::HyperButterfly(unsigned m, unsigned n)
         std::to_string(m) + ", n=" + std::to_string(n) + ")");
   }
   // Theorem 1-2 structural invariants, verified on a bounded vertex sample
-  // (checked builds only; see check/validate.hpp).
+  // (checked builds only; see core/validate.hpp).
   HBNET_DCHECK_OK(check::validate(*this));
 }
 

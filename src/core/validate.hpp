@@ -1,0 +1,28 @@
+// Structural validator for the HB(m,n) Theorem-claim invariants, used by
+// the HBNET_DCHECK_OK sites in the builder and the path-family analyses
+// (and directly by tests). The graph-layer validators live in
+// graph/validate.hpp; both stay in namespace hbnet::check so call sites
+// read `check::validate(x)` regardless of which subsystem defines the
+// overload.
+//
+// Returns an empty string when the object is well formed and a description
+// of the *first* violation otherwise, so callers can route the result
+// through HBNET_CHECK_OK / HBNET_DCHECK_OK or report it softly.
+#pragma once
+
+#include <string>
+
+namespace hbnet {
+class HyperButterfly;
+}
+
+namespace hbnet::check {
+
+/// HB(m,n) Theorem 1-2 invariants: m+4 generators (= degree), n * 2^(m+n)
+/// vertices, (m+4) * n * 2^(m+n-1) edges, and on a bounded sample of
+/// vertices: index_of/node_at round trip, m+4 distinct in-range neighbors,
+/// and generator involution/inverse consistency (each neighbor lists the
+/// vertex back). Sampled, so cheap even for the largest instances.
+[[nodiscard]] std::string validate(const HyperButterfly& hb);
+
+}  // namespace hbnet::check

@@ -1,4 +1,4 @@
-#include "core/collectives.hpp"
+#include "distsim/collectives.hpp"
 
 #include <algorithm>
 #include <unordered_set>

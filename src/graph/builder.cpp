@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "graph/validate.hpp"
 
 namespace hbnet {
 

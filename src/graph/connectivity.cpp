@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "graph/validate.hpp"
 #include "graph/connectivity_sweep.hpp"
 #include "graph/maxflow.hpp"
 #include "par/pool.hpp"

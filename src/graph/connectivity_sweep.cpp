@@ -11,7 +11,7 @@
 #include <utility>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "graph/validate.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "graph/validate.hpp"
 #include "par/pool.hpp"
 
 namespace hbnet {

@@ -1,6 +1,10 @@
-// Structural validators for the Theorem-claim invariants, used by the
-// HBNET_DCHECK_OK sites in builders and analysis entry points (and directly
-// by tests).
+// Structural validators for the graph-layer invariants (CSR
+// well-formedness and ConnectivitySweep checkpoint state), used by the
+// HBNET_DCHECK_OK sites in builders and analysis entry points (and
+// directly by tests). The HyperButterfly validator lives in
+// core/validate.hpp; both stay in namespace hbnet::check so call sites
+// read `check::validate(x)` regardless of which subsystem defines the
+// overload.
 //
 // Each overload returns an empty string when the object is well formed and
 // a description of the *first* violation otherwise, so callers can route
@@ -12,7 +16,6 @@
 #include "graph/graph.hpp"
 
 namespace hbnet {
-class HyperButterfly;
 struct SweepState;
 }
 
@@ -23,13 +26,6 @@ namespace hbnet::check {
 /// loops, every target in range, and undirected symmetry (u in adj(v) iff
 /// v in adj(u)). Cost O(n + m log deg).
 [[nodiscard]] std::string validate(const Graph& g);
-
-/// HB(m,n) Theorem 1-2 invariants: m+4 generators (= degree), n * 2^(m+n)
-/// vertices, (m+4) * n * 2^(m+n-1) edges, and on a bounded sample of
-/// vertices: index_of/node_at round trip, m+4 distinct in-range neighbors,
-/// and generator involution/inverse consistency (each neighbor lists the
-/// vertex back). Sampled, so cheap even for the largest instances.
-[[nodiscard]] std::string validate(const HyperButterfly& hb);
 
 /// ConnectivitySweep checkpoint-state invariants: supported format version,
 /// nonzero block size, position and bound within range for the recorded

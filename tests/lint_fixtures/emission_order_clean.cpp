@@ -1,0 +1,17 @@
+// hblint-scope: src
+// Fixture: extract-sort-write passes emission-order -- the bytes hitting
+// the stream no longer depend on hash-table iteration order.
+#include <algorithm>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+void dump_counts(std::ofstream& out,
+                 const std::unordered_map<int, int>& counts) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  for (const auto& row : rows) {
+    out << row.first << ' ' << row.second << '\n';
+  }
+}

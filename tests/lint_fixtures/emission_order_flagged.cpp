@@ -1,0 +1,25 @@
+// hblint-scope: src
+// Fixture: rule emission-order must flag stream writes reachable from a
+// loop over an unordered container -- both the explicit iterator loop
+// (which plain unordered-iteration cannot see) and a loop whose body
+// reaches the stream through one call level.
+#include <fstream>
+#include <unordered_map>
+
+void write_row(std::ofstream& out, int key, int value) {
+  out << key << ' ' << value << '\n';
+}
+
+void dump_direct(std::ofstream& out,
+                 const std::unordered_map<int, int>& counts) {
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    out << it->first << ' ' << it->second << '\n';
+  }
+}
+
+void dump_via_call(std::ofstream& out,
+                   const std::unordered_map<int, int>& counts) {
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    write_row(out, it->first, it->second);
+  }
+}

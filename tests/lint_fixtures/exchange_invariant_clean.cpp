@@ -1,0 +1,24 @@
+// hblint-path: src/sim/shard_probe.cpp
+// Fixture: routing cross-shard packets through Exchange::push passes
+// exchange-invariant (shard_of only computes the destination column).
+#include <cstdint>
+
+struct Packet {
+  std::uint64_t to = 0;
+};
+
+struct Plan {
+  std::uint64_t shard_of(std::uint64_t node) const { return node % 4; }
+};
+
+struct Exchange {
+  void push(std::uint64_t from, std::uint64_t to, const Packet&) {
+    (void)from;
+    (void)to;
+  }
+};
+
+void route(Exchange& exchange, const Plan& plan, std::uint64_t s,
+           const Packet& p) {
+  exchange.push(s, plan.shard_of(p.to), p);
+}

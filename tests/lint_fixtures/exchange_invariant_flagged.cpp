@@ -1,0 +1,19 @@
+// hblint-path: src/sim/shard_probe.cpp
+// Fixture: rule exchange-invariant must flag a direct write into another
+// shard's frontier indexed by shard_of(...) -- cross-shard moves must go
+// through the Exchange so delivery stays in ascending-sender order.
+#include <cstdint>
+#include <vector>
+
+struct Packet {
+  std::uint64_t to = 0;
+};
+
+struct Plan {
+  std::uint64_t shard_of(std::uint64_t node) const { return node % 4; }
+};
+
+void misroute(std::vector<std::vector<Packet>>& frontier, const Plan& plan,
+              const Packet& p) {
+  frontier[plan.shard_of(p.to)].push_back(p);
+}

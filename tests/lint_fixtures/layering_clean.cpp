@@ -1,0 +1,8 @@
+// hblint-path: src/sim/route_probe.cpp
+// Fixture: downward includes pass layering -- a tier-2 engine (sim) may
+// include tier-1 domain headers and tier-0 utilities.
+#include "core/hyper_butterfly.hpp"
+#include "graph/graph.hpp"
+#include "obs/sink.hpp"
+
+int probe() { return 1; }

@@ -1,0 +1,7 @@
+// hblint-path: src/core/route_probe.cpp
+// Fixture: rule layering must flag a tier-1 subsystem (core) including a
+// tier-2 header (sim) -- the DAG only allows includes of the same or a
+// lower tier.
+#include "sim/simulator.hpp"
+
+int probe() { return 1; }

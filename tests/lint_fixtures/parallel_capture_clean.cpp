@@ -1,0 +1,37 @@
+// hblint-scope: src
+// Fixture: the sanctioned shared-state forms pass parallel-capture --
+// per-worker disjoint slots (scratch[worker]), atomics, locals declared in
+// multi-declarator statements, and lambdas nested inside the body that are
+// arguments to some *other* call (they answer to their own contract).
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace par {
+struct Pool {
+  template <class F>
+  void parallel_for_chunks(std::uint64_t, std::uint64_t, F&&) {}
+};
+}  // namespace par
+
+template <class F>
+void drain_into(unsigned worker, F&&) {
+  (void)worker;
+}
+
+void tally(par::Pool& pool, const std::vector<std::uint64_t>& in,
+           std::vector<std::uint64_t>& scratch) {
+  std::atomic<std::uint64_t> chunks_done{0};
+  pool.parallel_for_chunks(
+      in.size(), 64,
+      [&](unsigned worker, std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t local = 0, spill = 0;
+        for (std::uint64_t k = lo; k < hi; ++k) {
+          local += in[k];
+          spill += 1;
+        }
+        scratch[worker] = local + spill;
+        chunks_done.fetch_add(1, std::memory_order_relaxed);
+        drain_into(worker, [&local](std::uint64_t v) { local += v; });
+      });
+}

@@ -1,0 +1,22 @@
+// hblint-scope: src
+// Fixture: rule parallel-capture must flag a by-reference capture mutated
+// from inside a lambda handed to parallel_for -- concurrent workers race
+// on `total`, and even a lock would leave the accumulation order
+// nondeterministic.
+#include <cstdint>
+#include <vector>
+
+namespace par {
+struct Pool {
+  template <class F>
+  void parallel_for(std::uint64_t, F&&) {}
+};
+}  // namespace par
+
+std::uint64_t tally(par::Pool& pool,
+                    const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  pool.parallel_for(counts.size(),
+                    [&](std::uint64_t i) { total += counts[i]; });
+  return total;
+}

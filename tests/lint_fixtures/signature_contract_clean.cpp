@@ -1,0 +1,15 @@
+// hblint-path: src/sim/engine.hpp
+// Fixture: observer parameters declared in a header with nullptr defaults
+// pass signature-contract (and sink-default).
+#pragma once
+
+namespace hbnet {
+namespace obs {
+class Sink;
+class ProgressBoard;
+}  // namespace obs
+
+void run_phase(int cycles, obs::Sink* sink = nullptr,
+               obs::ProgressBoard* board = nullptr);
+
+}  // namespace hbnet

@@ -1,0 +1,15 @@
+// hblint-path: src/sim/engine_impl.cpp
+// Fixture: rule signature-contract must flag an observer parameter default
+// in a .cpp definition -- defaults belong in the header declaration only,
+// so every translation unit sees the same effective signature.
+namespace hbnet {
+namespace obs {
+class Sink;
+}
+
+void run_phase(int cycles, obs::Sink* sink = nullptr) {
+  (void)cycles;
+  (void)sink;
+}
+
+}  // namespace hbnet

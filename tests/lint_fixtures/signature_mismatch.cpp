@@ -1,0 +1,14 @@
+// hblint-path: src/sim/engine_pair.cpp
+// Fixture (cross-file, see signature_mismatch.hpp): this definition lost
+// the trailing obs::ProgressBoard* parameter the header declares.
+namespace hbnet {
+namespace obs {
+class Sink;
+}
+
+void run_paired(int cycles, obs::Sink* sink) {
+  (void)cycles;
+  (void)sink;
+}
+
+}  // namespace hbnet

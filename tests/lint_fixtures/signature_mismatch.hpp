@@ -1,0 +1,17 @@
+// hblint-path: src/sim/engine_pair.hpp
+// Fixture (cross-file, linted together with signature_mismatch.cpp via
+// lint_tree): the header declares run_paired with Sink + ProgressBoard
+// observer parameters; the definition drops one, which the tree-level
+// signature-contract check must flag.
+#pragma once
+
+namespace hbnet {
+namespace obs {
+class Sink;
+class ProgressBoard;
+}  // namespace obs
+
+void run_paired(int cycles, obs::Sink* sink = nullptr,
+                obs::ProgressBoard* board = nullptr);
+
+}  // namespace hbnet

@@ -8,7 +8,8 @@
 #include <vector>
 
 #include "check/check.hpp"
-#include "check/validate.hpp"
+#include "core/validate.hpp"
+#include "graph/validate.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/graph.hpp"
 #include "obs/flight_recorder.hpp"

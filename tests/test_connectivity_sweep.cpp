@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "check/validate.hpp"
+#include "graph/validate.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "graph/builder.hpp"
 #include "graph/connectivity.hpp"

@@ -57,6 +57,15 @@ const FixturePair kPairs[] = {
     {"no-raw-new", "no_raw_new_flagged.cpp", "no_raw_new_clean.cpp"},
     {"no-bare-assert", "no_bare_assert_flagged.cpp",
      "no_bare_assert_clean.cpp"},
+    {"parallel-capture", "parallel_capture_flagged.cpp",
+     "parallel_capture_clean.cpp"},
+    {"layering", "layering_flagged.cpp", "layering_clean.cpp"},
+    {"signature-contract", "signature_contract_flagged.cpp",
+     "signature_contract_clean.cpp"},
+    {"emission-order", "emission_order_flagged.cpp",
+     "emission_order_clean.cpp"},
+    {"exchange-invariant", "exchange_invariant_flagged.cpp",
+     "exchange_invariant_clean.cpp"},
 };
 
 TEST(Hblint, EveryRuleHasFlaggedFixture) {
@@ -125,17 +134,95 @@ TEST(Hblint, LibraryOnlyRulesSkipTests) {
   EXPECT_EQ(count_rule(diags, "no-wall-clock"), 1u) << dump(diags);
 }
 
-TEST(Hblint, RealTreeLintsClean) {
+TEST(Hblint, RealTreeLintsCleanAgainstBaseline) {
   const std::string root(HBNET_SOURCE_DIR);
   auto files =
       hblint::collect_files({root + "/src", root + "/tools", root + "/tests"});
   ASSERT_GT(files.size(), 50u);  // sanity: the tree was actually walked
-  std::vector<hblint::Diagnostic> all;
-  for (const auto& f : files) {
-    auto diags = hblint::lint_file(f);
-    all.insert(all.end(), diags.begin(), diags.end());
+  const auto all = hblint::lint_tree(files);
+  const auto baseline =
+      hblint::load_baseline(root + "/tools/hblint/hblint-baseline.txt");
+  const auto split = hblint::apply_baseline(all, baseline);
+  EXPECT_TRUE(split.unbaselined.empty()) << dump(split.unbaselined);
+}
+
+TEST(Hblint, CrossFileSignatureMismatch) {
+  // The header declares run_paired(int, Sink*, ProgressBoard*); the .cpp
+  // definition dropped the ProgressBoard. Only the tree-level pass can see
+  // the disagreement.
+  auto diags = hblint::lint_tree(
+      {fixture("signature_mismatch.hpp"), fixture("signature_mismatch.cpp")});
+  EXPECT_EQ(count_rule(diags, "signature-contract"), 1u) << dump(diags);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_NE(diags[0].file.find("signature_mismatch.cpp"), std::string::npos);
+  // Each file alone is silent: the per-file rules have nothing to object
+  // to, so the finding is genuinely cross-file.
+  EXPECT_TRUE(hblint::lint_file(fixture("signature_mismatch.hpp")).empty());
+  EXPECT_TRUE(hblint::lint_file(fixture("signature_mismatch.cpp")).empty());
+}
+
+TEST(Hblint, BaselineAbsorbsUpToCountAndFailsOnGrowth) {
+  const hblint::Baseline baseline = hblint::parse_baseline(
+      "# comment line\n"
+      "no-rand src/sim/a.cpp 2\n");
+  const std::vector<hblint::Diagnostic> two = {
+      {"/abs/path/src/sim/a.cpp", 3, "no-rand", "m"},
+      {"/abs/path/src/sim/a.cpp", 9, "no-rand", "m"},
+  };
+  const auto ok = hblint::apply_baseline(two, baseline);
+  EXPECT_TRUE(ok.unbaselined.empty()) << dump(ok.unbaselined);
+  EXPECT_EQ(ok.baselined, 2u);
+
+  // One more finding in the group: the whole group is reported (the
+  // line-number-free format cannot tell old findings from new).
+  std::vector<hblint::Diagnostic> three = two;
+  three.push_back({"/abs/path/src/sim/a.cpp", 12, "no-rand", "m"});
+  const auto grown = hblint::apply_baseline(three, baseline);
+  EXPECT_EQ(grown.unbaselined.size(), 3u);
+  EXPECT_EQ(grown.baselined, 0u);
+
+  // A different rule or file is not covered by the entry at all.
+  const std::vector<hblint::Diagnostic> other = {
+      {"src/sim/b.cpp", 1, "no-rand", "m"}};
+  EXPECT_EQ(hblint::apply_baseline(other, baseline).unbaselined.size(), 1u);
+}
+
+TEST(Hblint, BaselineRoundTripsThroughSerialize) {
+  const std::vector<hblint::Diagnostic> diags = {
+      {"src/sim/a.cpp", 3, "no-rand", "m"},
+      {"src/sim/a.cpp", 9, "no-rand", "m"},
+      {"src/graph/b.cpp", 1, "layering", "m"},
+  };
+  const hblint::Baseline round =
+      hblint::parse_baseline(hblint::serialize_baseline(diags));
+  ASSERT_EQ(round.entries.size(), 2u);
+  EXPECT_EQ((round.entries.at({"no-rand", "src/sim/a.cpp"})), 2u);
+  EXPECT_EQ((round.entries.at({"layering", "src/graph/b.cpp"})), 1u);
+  EXPECT_TRUE(hblint::apply_baseline(diags, round).unbaselined.empty());
+}
+
+TEST(Hblint, SarifReportCarriesRequiredFields) {
+  const std::vector<hblint::Diagnostic> diags = {
+      {"/abs/src/sim/a.cpp", 42, "no-rand", "uses \"rand\" badly"},
+  };
+  const std::string sarif = hblint::sarif_report(diags);
+  // Required SARIF 2.1.0 structure for code-scanning upload.
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"runs\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"hblint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"no-rand\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 42"), std::string::npos);
+  // Artifact URIs are repo-relative, never absolute.
+  EXPECT_NE(sarif.find("\"uri\": \"src/sim/a.cpp\""), std::string::npos);
+  EXPECT_EQ(sarif.find("/abs/"), std::string::npos);
+  // The message's quotes must be escaped into valid JSON.
+  EXPECT_NE(sarif.find("uses \\\"rand\\\" badly"), std::string::npos);
+  // Every catalogue rule is listed in the driver.
+  for (const auto& r : hblint::rules()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + std::string(r.name) + "\""),
+              std::string::npos)
+        << r.name;
   }
-  EXPECT_TRUE(all.empty()) << dump(all);
 }
 
 TEST(Hblint, CollectFilesSkipsFixturesAndBuild) {

@@ -5,7 +5,7 @@
 
 #include <random>
 
-#include "core/collectives.hpp"
+#include "distsim/collectives.hpp"
 #include "core/hyper_butterfly.hpp"
 #include "core/routing.hpp"
 #include "graph/connectivity.hpp"

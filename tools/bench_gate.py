@@ -8,6 +8,7 @@ regresses by more than the threshold (default 10% on ``real_time``).
 Usage:
     tools/bench_json.sh build fresh-bench/
     python3 tools/bench_gate.py fresh-bench/ [baseline-dir] [--threshold PCT]
+    python3 tools/bench_gate.py fresh-bench/ --write-baseline
 
 Rules:
   * Only ``run_type == "iteration"`` entries are compared (aggregates such
@@ -19,27 +20,56 @@ Rules:
     new benchmarks land without a baseline until the next re-baseline.
   * Improvements are reported but never gate.
 
+An unreadable, empty, or malformed JSON file on either side is a warning
+(the file is skipped), never a stack trace: benchmark history is allowed to
+be missing -- on a fresh clone, after a filter change, or before the first
+re-baseline -- and the gate must degrade to "nothing to compare" instead of
+crashing CI.
+
 Re-baselining (see docs/performance.md): when a deliberate change moves a
 benchmark past the threshold, regenerate the artifacts on the reference
-machine with ``tools/bench_json.sh build .`` and commit the updated
-BENCH_*.json alongside the change that explains them.
+machine with ``tools/bench_json.sh build fresh-bench`` and promote them with
+``--write-baseline`` (copies fresh-bench/BENCH_*.json over the committed
+baselines), then commit the updated BENCH_*.json alongside the change that
+explains them.
 """
 
 import argparse
 import json
 import pathlib
+import shutil
 import sys
 
 # Factors to nanoseconds; benchmark JSON time_unit values.
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_iterations(path):
-    """name -> real_time in ns for every iteration entry of one JSON file."""
-    with open(path, encoding="utf-8") as fh:
-        doc = json.load(fh)
+def load_iterations(path, warnings):
+    """name -> real_time in ns for every iteration entry of one JSON file.
+
+    An unreadable or malformed file appends a warning and yields an empty
+    mapping instead of raising: missing/corrupt benchmark history must
+    degrade the gate, not crash it.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        warnings.append(f"{path.name}: unreadable ({err.strerror or err}); "
+                        "skipped")
+        return {}
+    except json.JSONDecodeError as err:
+        warnings.append(f"{path.name}: not valid benchmark JSON ({err.msg} "
+                        f"at line {err.lineno}); skipped")
+        return {}
+    if not isinstance(doc, dict) or not isinstance(doc.get("benchmarks"), list):
+        warnings.append(f"{path.name}: no 'benchmarks' array "
+                        "(empty or truncated run?); skipped")
+        return {}
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict):
+            continue
         if bench.get("run_type", "iteration") != "iteration":
             continue
         name = bench.get("name")
@@ -72,19 +102,47 @@ def main(argv):
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="max tolerated real_time regression in percent "
                         "(default: 10)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="promote the fresh BENCH_*.json to the baseline "
+                        "directory (regenerating the committed baselines) "
+                        "instead of gating against them")
     args = parser.parse_args(argv)
+
+    if not args.fresh_dir.is_dir():
+        print(f"bench-gate: fresh directory {args.fresh_dir} does not exist "
+              "-- run tools/bench_json.sh first; nothing to compare",
+              file=sys.stderr)
+        return 2
+
+    fresh_paths = sorted(args.fresh_dir.glob("BENCH_*.json"))
+
+    if args.write_baseline:
+        if not fresh_paths:
+            print(f"bench-gate: no BENCH_*.json in {args.fresh_dir} to "
+                  "promote; run tools/bench_json.sh first", file=sys.stderr)
+            return 2
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in fresh_paths:
+            shutil.copyfile(path, args.baseline_dir / path.name)
+            print(f"bench-gate: wrote {args.baseline_dir / path.name}")
+        print(f"bench-gate: promoted {len(fresh_paths)} baseline file(s); "
+              "review and commit them with the change that explains them")
+        return 0
 
     baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
     if not baselines:
-        print(f"bench-gate: no BENCH_*.json baselines in {args.baseline_dir}",
-              file=sys.stderr)
-        return 2
+        # Not an error: a tree with no committed history yet (or a pruned
+        # baseline set) simply has nothing to gate against.
+        print(f"bench-gate: warning: no BENCH_*.json baselines in "
+              f"{args.baseline_dir}; nothing to gate against (promote a "
+              "reference run with --write-baseline)", file=sys.stderr)
+        return 0
 
     failures = []
     warnings = []
     compared = 0
 
-    fresh_files = {p.name for p in args.fresh_dir.glob("BENCH_*.json")}
+    fresh_files = {p.name for p in fresh_paths}
     for extra in sorted(fresh_files - {p.name for p in baselines}):
         warnings.append(f"{extra}: fresh file has no committed baseline")
 
@@ -93,8 +151,8 @@ def main(argv):
         if not fresh_path.is_file():
             warnings.append(f"{base_path.name}: no fresh run to compare")
             continue
-        base = load_iterations(base_path)
-        fresh = load_iterations(fresh_path)
+        base = load_iterations(base_path, warnings)
+        fresh = load_iterations(fresh_path, warnings)
         for name in sorted(set(base) - set(fresh)):
             warnings.append(f"{base_path.name}: '{name}' missing from fresh "
                             "run (filter change?)")

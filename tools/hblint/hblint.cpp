@@ -1,485 +1,43 @@
+// hblint orchestration: file collection, scope selection, and the
+// single-file / whole-tree lint drivers. The interesting machinery lives
+// in lexer.cpp (blanking), index.cpp (symbol tables), rules.cpp (the rule
+// engine), and report.cpp (baseline + SARIF).
 #include "hblint/hblint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <filesystem>
 #include <fstream>
-#include <regex>
 #include <sstream>
+#include <tuple>
+
+#include "hblint/index.hpp"
+#include "hblint/rules.hpp"
 
 namespace hblint {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Source preparation: blank comments and literals, keep line structure.
-// ---------------------------------------------------------------------------
-
-/// Returns `content` with every comment, string literal, and character
-/// literal replaced by spaces (newlines preserved), so rules match code
-/// tokens only. Handles //, /* */, "..." with escapes, '...', and raw
-/// strings R"delim(...)delim".
-std::string blank_noncode(const std::string& content) {
-  std::string out = content;
-  enum class St {
-    kCode,
-    kLineComment,
-    kBlockComment,
-    kString,
-    kChar,
-    kRawString
-  };
-  St st = St::kCode;
-  std::string raw_close;  // )delim" of the active raw string
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && next == '/') {
-          st = St::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          st = St::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          // Raw string if preceded by R (and that R is not part of an
-          // identifier like DIR).
-          const bool raw =
-              i > 0 && content[i - 1] == 'R' &&
-              (i < 2 || (!std::isalnum(static_cast<unsigned char>(
-                             content[i - 2])) &&
-                         content[i - 2] != '_'));
-          if (raw) {
-            std::size_t p = i + 1;
-            std::string delim;
-            while (p < content.size() && content[p] != '(') {
-              delim.push_back(content[p]);
-              ++p;
-            }
-            raw_close = ")" + delim + "\"";
-            st = St::kRawString;
-          } else {
-            st = St::kString;
-          }
-        } else if (c == '\'') {
-          // Digit separators (1'000'000) are not character literals.
-          const bool digit_sep =
-              i > 0 &&
-              std::isdigit(static_cast<unsigned char>(content[i - 1])) &&
-              std::isalnum(static_cast<unsigned char>(next));
-          if (!digit_sep) st = St::kChar;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n') {
-          st = St::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case St::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kRawString:
-        if (content.compare(i, raw_close.size(), raw_close) == 0) {
-          for (std::size_t k = 0; k < raw_close.size(); ++k) {
-            if (content[i + k] != '\n') out[i + k] = ' ';
-          }
-          i += raw_close.size() - 1;
-          st = St::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+void sort_and_dedup(std::vector<Diagnostic>& diags) {
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.file == b.file && a.line == b.line &&
+                                   a.rule == b.rule &&
+                                   a.message == b.message;
+                          }),
+              diags.end());
 }
 
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string::size_type pos = 0;
-  while (pos <= text.size()) {
-    const auto nl = text.find('\n', pos);
-    if (nl == std::string::npos) {
-      lines.push_back(text.substr(pos));
-      break;
-    }
-    lines.push_back(text.substr(pos, nl - pos));
-    pos = nl + 1;
-  }
-  return lines;
-}
-
-bool is_word(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// 1-based line of byte offset `pos` in `text`.
-std::size_t line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<std::size_t>(
-                 std::count(text.begin(),
-                            text.begin() + static_cast<std::ptrdiff_t>(
-                                               std::min(pos, text.size())),
-                            '\n'));
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions.
-// ---------------------------------------------------------------------------
-
-struct Suppressions {
-  // rule -> set of 1-based lines; rule "" means any rule on that line.
-  std::vector<std::pair<std::string, std::size_t>> line_allows;
-  std::vector<std::string> file_allows;
-
-  [[nodiscard]] bool allows(const std::string& rule, std::size_t line) const {
-    for (const auto& r : file_allows) {
-      if (r == rule || r == "*") return true;
-    }
-    for (const auto& [r, l] : line_allows) {
-      if (l == line && (r == rule || r == "*")) return true;
-    }
-    return false;
-  }
-};
-
-Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
-  Suppressions sup;
-  static const std::regex kAllow(
-      R"(hblint:\s*(allow|allow-file)\(([^)]*)\))");
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    auto begin = std::sregex_iterator(raw_lines[i].begin(),
-                                      raw_lines[i].end(), kAllow);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      std::stringstream rules((*it)[2].str());
-      std::string rule;
-      while (std::getline(rules, rule, ',')) {
-        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
-                   rule.end());
-        if (rule.empty()) continue;
-        if ((*it)[1].str() == "allow-file") {
-          sup.file_allows.push_back(rule);
-        } else {
-          sup.line_allows.emplace_back(rule, i + 1);
-        }
-      }
-    }
-  }
-  return sup;
-}
-
-// ---------------------------------------------------------------------------
-// Rule helpers.
-// ---------------------------------------------------------------------------
-
-struct FileCtx {
-  std::string path;
-  Scope scope = Scope::kLibrary;
-  bool is_header = false;
-  bool in_obs = false;  // src/obs/ is the trace implementation itself
-  std::string blanked;                // whole text, literals blanked
-  std::vector<std::string> lines;     // blanked, per line
-  std::vector<Diagnostic>* out = nullptr;
-
-  void report(std::size_t line, const char* rule, std::string message) const {
-    out->push_back({path, line, rule, std::move(message)});
-  }
-};
-
-/// Applies `re` line by line and reports each match.
-void flag_lines(const FileCtx& ctx, const std::regex& re, const char* rule,
-                const std::string& message) {
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    if (std::regex_search(ctx.lines[i], re)) {
-      ctx.report(i + 1, rule, message);
-    }
-  }
-}
-
-// -- unordered-iteration ----------------------------------------------------
-
-/// Names declared in this file as std::unordered_{map,set}<...> variables
-/// (including references/pointers to them).
-std::vector<std::string> unordered_decl_names(const std::string& blanked) {
-  std::vector<std::string> names;
-  static const std::regex kDecl(R"(\bunordered_(map|set)\b)");
-  auto begin =
-      std::sregex_iterator(blanked.begin(), blanked.end(), kDecl);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::size_t p = static_cast<std::size_t>(it->position()) +
-                    static_cast<std::size_t>(it->length());
-    while (p < blanked.size() && std::isspace(static_cast<unsigned char>(
-                                     blanked[p]))) {
-      ++p;
-    }
-    if (p >= blanked.size() || blanked[p] != '<') continue;
-    int depth = 0;
-    while (p < blanked.size()) {
-      if (blanked[p] == '<') ++depth;
-      if (blanked[p] == '>') {
-        --depth;
-        if (depth == 0) break;
-      }
-      ++p;
-    }
-    if (p >= blanked.size()) continue;
-    ++p;  // past closing '>'
-    while (p < blanked.size() &&
-           (std::isspace(static_cast<unsigned char>(blanked[p])) ||
-            blanked[p] == '&' || blanked[p] == '*')) {
-      ++p;
-    }
-    std::string name;
-    while (p < blanked.size() && is_word(blanked[p])) {
-      name.push_back(blanked[p]);
-      ++p;
-    }
-    // `>::iterator` and friends produce no name; `>(...)` casts neither.
-    if (!name.empty() &&
-        !std::isdigit(static_cast<unsigned char>(name.front()))) {
-      names.push_back(name);
-    }
-  }
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
-}
-
-void rule_unordered_iteration(const FileCtx& ctx) {
-  const std::vector<std::string> names = unordered_decl_names(ctx.blanked);
-  for (const std::string& name : names) {
-    const std::regex range_for(R"(for\s*\([^)]*:\s*\*?)" + name +
-                               R"(\s*\))");
-    flag_lines(ctx, range_for, "unordered-iteration",
-               "range-for over unordered container '" + name +
-                   "': iteration order is a hash-table implementation "
-                   "detail; extract into a vector, sort, then iterate "
-                   "(or suppress if order provably cannot reach results "
-                   "or telemetry)");
-  }
-}
-
-// -- sink-default -----------------------------------------------------------
-
-/// Entry points whose declarations must keep the trailing
-/// `obs::Sink* = nullptr` observability parameter.
-const char* const kSinkEntryPoints[] = {
-    "run_simulation", "run_simulation_with_fault_events",
-    "run_wormhole",   "run_protocol",
-    "route_around_faults", "hb_greedy_broadcast",
-    "hb_structured_broadcast",
-};
-
-void rule_sink_default(const FileCtx& ctx) {
-  // (a) Every `obs::Sink*` parameter in a header must be defaulted to
-  // nullptr: a caller must never be forced to thread observability through.
-  static const std::regex kSinkParam(R"(obs\s*::\s*Sink\s*\*)");
-  static const std::regex kDefaulted(R"(=\s*nullptr)");
-  auto begin = std::sregex_iterator(ctx.blanked.begin(), ctx.blanked.end(),
-                                    kSinkParam);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    std::size_t p = static_cast<std::size_t>(it->position()) +
-                    static_cast<std::size_t>(it->length());
-    // The parameter's text ends at a top-level ',', ')' or ';'.
-    int depth = 0;
-    std::size_t end = p;
-    while (end < ctx.blanked.size()) {
-      const char c = ctx.blanked[end];
-      if (c == '(' || c == '<' || c == '{') ++depth;
-      if (c == ')' || c == '>' || c == '}') {
-        if (depth == 0) break;
-        --depth;
-      }
-      if ((c == ',' || c == ';') && depth == 0) break;
-      ++end;
-    }
-    const std::string param = ctx.blanked.substr(p, end - p);
-    if (!std::regex_search(param, kDefaulted)) {
-      ctx.report(line_of(ctx.blanked, static_cast<std::size_t>(it->position())),
-                 "sink-default",
-                 "obs::Sink* parameter in a header must default to nullptr "
-                 "(observability is opt-in at every call site)");
-    }
-  }
-  // (b) Known simulator/broadcast entry points must carry the parameter at
-  // all -- removing it entirely would otherwise pass check (a).
-  for (const char* name : kSinkEntryPoints) {
-    const std::regex decl(std::string(R"(\b)") + name + R"(\s*\()");
-    auto dbegin = std::sregex_iterator(ctx.blanked.begin(),
-                                       ctx.blanked.end(), decl);
-    for (auto it = dbegin; it != std::sregex_iterator(); ++it) {
-      std::size_t open = static_cast<std::size_t>(it->position()) +
-                         static_cast<std::size_t>(it->length()) - 1;
-      int depth = 0;
-      std::size_t close = open;
-      while (close < ctx.blanked.size()) {
-        if (ctx.blanked[close] == '(') ++depth;
-        if (ctx.blanked[close] == ')') {
-          --depth;
-          if (depth == 0) break;
-        }
-        ++close;
-      }
-      const std::string params =
-          ctx.blanked.substr(open, close - open);
-      static const std::regex kSinkDefaulted(
-          R"(Sink\s*\*\s*\w*\s*=\s*nullptr)");
-      if (!std::regex_search(params, kSinkDefaulted)) {
-        ctx.report(
-            line_of(ctx.blanked, static_cast<std::size_t>(it->position())),
-            "sink-default",
-            std::string("entry point '") + name +
-                "' must keep its trailing `obs::Sink* = nullptr` parameter");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule catalogue and driver.
-// ---------------------------------------------------------------------------
-
-const std::vector<RuleInfo> kRules = {
-    {"no-rand",
-     "std::rand/srand are banned; use a std::mt19937_64 seeded from config"},
-    {"no-time-seed",
-     "time() is banned (wall-clock seeds break run-to-run determinism)"},
-    {"no-random-device",
-     "std::random_device is banned outside explicitly suppressed seeded-RNG "
-     "construction sites"},
-    {"no-wall-clock",
-     "wall clocks (system/steady/high_resolution_clock, clock_gettime, ...) "
-     "are banned in library code; simulators count cycles, benches use the "
-     "benchmark framework"},
-    {"wall-clock-outside-obs",
-     "std::chrono is confined to src/obs/ (the telemetry layer timestamps "
-     "snapshots); every other library file is cycle-based and "
-     "deterministic"},
-    {"unordered-iteration",
-     "no range-for over unordered_map/unordered_set; extract keys, sort, "
-     "then iterate"},
-    {"sink-default",
-     "simulator/broadcast entry points keep a trailing obs::Sink* = nullptr "
-     "parameter, and every header Sink* parameter is defaulted"},
-    {"trace-macro-only",
-     "hot paths emit traces via HBNET_TRACE_* macros only, never by calling "
-     "the TraceRecorder directly"},
-    {"no-raw-new",
-     "no raw new/delete; use containers or std::make_unique"},
-    {"no-bare-assert",
-     "no bare assert() in src/; use HBNET_CHECK / HBNET_DCHECK "
-     "(check/check.hpp)"},
-};
-
-void run_rules(FileCtx& ctx) {
-  // Banned nondeterminism sources (all scopes).
-  static const std::regex kRand(
-      R"((^|[^\w:])(std\s*::\s*)?(rand|srand)\s*\()");
-  flag_lines(ctx, kRand, "no-rand",
-             "banned nondeterminism source; seed a std::mt19937_64 from the "
-             "run's config instead");
-  static const std::regex kTime(R"((^|[^\w])(std\s*::\s*)?time\s*\()");
-  flag_lines(ctx, kTime, "no-time-seed",
-             "time() reads the wall clock; results must be a pure function "
-             "of the config/seed");
-  static const std::regex kRandomDevice(R"(\brandom_device\b)");
-  flag_lines(ctx, kRandomDevice, "no-random-device",
-             "std::random_device is nondeterministic; accept a seed and use "
-             "std::mt19937_64 (suppress only at a documented seeded-RNG "
-             "construction site)");
-  static const std::regex kNew(R"(\bnew\b)");
-  flag_lines(ctx, kNew, "no-raw-new",
-             "raw new; use a container or std::make_unique");
-  // `= delete` (deleted functions) is legal C++ hygiene; only flag delete
-  // applied to an operand.
-  for (std::size_t i = 0; i < ctx.lines.size(); ++i) {
-    const std::string& line = ctx.lines[i];
-    for (std::size_t pos = line.find("delete"); pos != std::string::npos;
-         pos = line.find("delete", pos + 1)) {
-      if (pos > 0 && is_word(line[pos - 1])) continue;
-      if (pos + 6 < line.size() && is_word(line[pos + 6])) continue;
-      // Look left for '=': deleted special member.
-      std::size_t left = pos;
-      while (left > 0 && std::isspace(static_cast<unsigned char>(
-                             line[left - 1]))) {
-        --left;
-      }
-      if (left > 0 && line[left - 1] == '=') continue;
-      ctx.report(i + 1, "no-raw-new",
-                 "raw delete; owning containers/smart pointers free their "
-                 "storage themselves");
-    }
-  }
-
-  rule_unordered_iteration(ctx);
-
-  if (ctx.scope == Scope::kLibrary) {
-    // The obs/ telemetry layer is the one library component allowed to read
-    // clocks (snapshot timestamps, exporter cadence); everywhere else both
-    // the clock types and <chrono> itself are banned.
-    if (!ctx.in_obs) {
-      static const std::regex kClock(
-          R"(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday)\b)");
-      flag_lines(ctx, kClock, "no-wall-clock",
-                 "wall clock in library code; simulators are cycle-based and "
-                 "deterministic, timing belongs in bench/");
-      static const std::regex kChrono(R"(\bchrono\b)");
-      flag_lines(ctx, kChrono, "wall-clock-outside-obs",
-                 "std::chrono outside src/obs/; engines count cycles -- only "
-                 "the telemetry layer may touch time");
-    }
-    static const std::regex kAssert(R"(\bassert\s*\()");
-    flag_lines(ctx, kAssert, "no-bare-assert",
-               "bare assert(); use HBNET_CHECK (always on) or HBNET_DCHECK "
-               "(checked builds) from check/check.hpp");
-    if (!ctx.in_obs) {
-      static const std::regex kRecorder(R"(\bTraceRecorder\b)");
-      flag_lines(ctx, kRecorder, "trace-macro-only",
-                 "direct TraceRecorder use in library code; emit through "
-                 "the HBNET_TRACE_* macros so -DHBNET_TRACE=OFF compiles "
-                 "the site out");
-      static const std::regex kTraceCall(R"((\.|->)\s*trace\s*\(\s*\))");
-      flag_lines(ctx, kTraceCall, "trace-macro-only",
-                 "direct Sink::trace() call in library code; emit through "
-                 "the HBNET_TRACE_* macros");
-    }
-    if (ctx.is_header) rule_sink_default(ctx);
-  }
+void drop_suppressed(const FileIndex& fi, std::vector<Diagnostic>& diags) {
+  std::erase_if(diags, [&](const Diagnostic& d) {
+    return d.file == fi.path && fi.suppressions.allows(d.rule, d.line);
+  });
 }
 
 }  // namespace
-
-const std::vector<RuleInfo>& rules() { return kRules; }
 
 Scope scope_of_path(const std::string& path) {
   const auto has = [&](const char* frag) {
@@ -492,42 +50,11 @@ Scope scope_of_path(const std::string& path) {
 
 std::vector<Diagnostic> lint_content(const std::string& path,
                                      const std::string& content) {
+  const FileIndex fi = build_file_index(path, content);
   std::vector<Diagnostic> diags;
-  FileCtx ctx;
-  ctx.path = path;
-  ctx.out = &diags;
-  ctx.is_header = path.ends_with(".hpp") || path.ends_with(".hh") ||
-                  path.ends_with(".h");
-  ctx.in_obs = path.find("obs/") != std::string::npos ||
-               path.find("obs\\") != std::string::npos;
-  ctx.scope = scope_of_path(path);
-  // Fixture pragma: lets a file under tests/lint_fixtures/ be linted as if
-  // it lived in src/, src/obs/, or tools/.
-  static const std::regex kScopePragma(
-      R"(hblint-scope:\s*(src|obs|tools|tests))");
-  std::smatch m;
-  if (std::regex_search(content, m, kScopePragma)) {
-    const std::string s = m[1].str();
-    ctx.scope = (s == "src" || s == "obs") ? Scope::kLibrary
-                : s == "tools"             ? Scope::kTools
-                                           : Scope::kTests;
-    if (s == "src") ctx.in_obs = false;
-    if (s == "obs") ctx.in_obs = true;
-  }
-  ctx.blanked = blank_noncode(content);
-  ctx.lines = split_lines(ctx.blanked);
-
-  run_rules(ctx);
-
-  const Suppressions sup = parse_suppressions(split_lines(content));
-  std::erase_if(diags, [&](const Diagnostic& d) {
-    return sup.allows(d.rule, d.line);
-  });
-  std::sort(diags.begin(), diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
+  run_file_rules(fi, nullptr, diags);
+  drop_suppressed(fi, diags);
+  sort_and_dedup(diags);
   return diags;
 }
 
@@ -539,6 +66,25 @@ std::vector<Diagnostic> lint_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return lint_content(path, buf.str());
+}
+
+std::vector<Diagnostic> lint_tree(const std::vector<std::string>& files) {
+  const RepoIndex repo = build_repo_index(files);
+  std::vector<Diagnostic> diags;
+  for (std::size_t i = 0; i < repo.files.size(); ++i) {
+    if (repo.files[i].blanked.empty() && !files[i].empty()) {
+      std::ifstream probe(files[i], std::ios::binary);
+      if (!probe) {
+        diags.push_back({files[i], 0, "io", "cannot open file"});
+        continue;
+      }
+    }
+    run_file_rules(repo.files[i], &repo, diags);
+  }
+  run_tree_rules(repo, diags);
+  for (const FileIndex& fi : repo.files) drop_suppressed(fi, diags);
+  sort_and_dedup(diags);
+  return diags;
 }
 
 std::vector<std::string> collect_files(

@@ -1,29 +1,43 @@
 // hblint -- the project's static checker.
 //
-// A standalone token-level linter (no libclang) that mechanically enforces
+// v2 is a small program-analysis pass rather than a purely lexical scanner:
+// a tokenizer (lexer.hpp) feeds per-file symbol tables and a repo-wide
+// include graph (index.hpp), which a rule engine (rules.hpp) matches
+// contract rules against; findings flow through a baseline/suppression
+// layer and text or SARIF reporters (report.hpp). It mechanically enforces
 // the contracts this library otherwise relies on code review for:
 //
-//   * the hbnet::par determinism contract -- no nondeterminism sources
-//     (std::rand, time(), std::random_device, wall clocks in library code)
-//     and no iteration over unordered containers feeding results or
-//     telemetry (iteration-order hazard; extract and sort instead),
-//   * the obs contract -- every simulator/broadcast entry point keeps its
-//     trailing `obs::Sink* = nullptr` parameter, and hot paths emit traces
-//     through the HBNET_TRACE_* macros only,
-//   * the resource/invariant conventions -- no raw new/delete, and no bare
-//     assert() in src/ (use HBNET_CHECK / HBNET_DCHECK from
-//     check/check.hpp).
+//   * the hbnet::par determinism contract -- no nondeterminism sources,
+//     no iteration over unordered containers feeding results or telemetry,
+//     and no mutable shared state captured by reference into parallel_for /
+//     parallel_reduce bodies (rule parallel-capture),
+//   * the layering contract -- the subsystem DAG
+//     obs/par/check -> core/graph/topology -> sim/analysis/campaign/distsim
+//     derived from the include graph (rule layering),
+//   * the obs contract -- every engine entry point keeps its trailing
+//     `obs::Sink* = nullptr` / `obs::ProgressBoard* = nullptr` observer
+//     parameters, headers and definitions agree, and defaults live only in
+//     headers (rules sink-default, signature-contract, trace-macro-only),
+//   * the canonical-emission contract -- no file/stream writes reachable
+//     from a loop over an unordered container (rule emission-order), and no
+//     cross-shard arena writes that bypass the sync::Exchange primitives
+//     (rule exchange-invariant),
+//   * the resource/invariant conventions -- no raw new/delete, no bare
+//     assert() in src/.
 //
 // Diagnostics carry file:line and a rule name. A finding is suppressed by
-// putting `hblint: allow(<rule>)` in a comment on the flagged line, or
-// `hblint: allow-file(<rule>)` anywhere in the file. Fixture files under
-// tests/lint_fixtures/ carry a `// hblint-scope: src|tools|tests` pragma so
-// each rule can be exercised outside its real directory.
+// putting `hblint: allow(<rule>)` in a comment on the flagged line,
+// `hblint: allow-file(<rule>)` anywhere in the file, or by an entry in the
+// committed baseline file (tools/hblint/hblint-baseline.txt). Fixture
+// files under tests/lint_fixtures/ carry `// hblint-scope:` and
+// `// hblint-path:` pragmas so each rule can be exercised outside its real
+// directory.
 //
 // See docs/static_analysis.md for the rule catalogue and rationale.
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,7 +52,7 @@ struct Diagnostic {
 
 /// Which rule set applies to a file. Library code gets the full set; tools
 /// and tests skip the library-only rules (wall clocks, Sink defaults, trace
-/// macros, bare assert).
+/// macros, bare assert, layering, exchange-invariant).
 enum class Scope { kLibrary, kTools, kTests };
 
 struct RuleInfo {
@@ -52,9 +66,10 @@ struct RuleInfo {
 /// Scope derived from the path (tests/ > tools/ > src/; default library).
 [[nodiscard]] Scope scope_of_path(const std::string& path);
 
-/// Lints in-memory content. `path` is used for diagnostics, header
-/// detection, and scope selection (unless the content carries an
-/// `hblint-scope:` pragma).
+/// Lints in-memory content with the per-file rules. `path` is used for
+/// diagnostics, header detection, and scope selection (unless the content
+/// carries `hblint-scope:` / `hblint-path:` pragmas). Cross-file rules
+/// (signature mismatches between a header and its .cpp) need lint_tree.
 [[nodiscard]] std::vector<Diagnostic> lint_content(const std::string& path,
                                                    const std::string& content);
 
@@ -62,10 +77,61 @@ struct RuleInfo {
 /// diagnostic.
 [[nodiscard]] std::vector<Diagnostic> lint_file(const std::string& path);
 
+/// Lints a set of files as one program: every per-file rule plus the
+/// cross-file rules that need the repo index (signature-contract
+/// declaration/definition matching, cross-file emission-order reachability).
+/// Diagnostics are sorted by (file, line, rule) and deduplicated.
+[[nodiscard]] std::vector<Diagnostic> lint_tree(
+    const std::vector<std::string>& files);
+
 /// Expands files and directories into the sorted list of lintable sources
 /// (.cpp/.cc/.hpp/.hh/.h), skipping lint_fixtures, build*, and dot
 /// directories.
 [[nodiscard]] std::vector<std::string> collect_files(
     const std::vector<std::string>& roots);
+
+// ---------------------------------------------------------------------------
+// Baseline: known findings committed to the repository. Entries are
+// line-number free -- `<rule> <repo-relative-file> <count>` -- so
+// unrelated edits do not invalidate them; a (rule, file) group only fails
+// the lint when it grows past its baselined count.
+// ---------------------------------------------------------------------------
+
+struct Baseline {
+  // (rule, repo-relative file) -> tolerated finding count.
+  std::map<std::pair<std::string, std::string>, std::size_t> entries;
+};
+
+/// Parses baseline text (see serialize_baseline for the format; '#' starts
+/// a comment line).
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+/// Loads a baseline file; a missing file is an empty baseline.
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+/// Renders diagnostics as baseline text (sorted, one `<rule> <file>
+/// <count>` line per group), suitable for committing.
+[[nodiscard]] std::string serialize_baseline(
+    const std::vector<Diagnostic>& diags);
+
+struct BaselineSplit {
+  std::vector<Diagnostic> unbaselined;
+  std::size_t baselined = 0;  // findings absorbed by the baseline
+};
+
+/// Splits findings into baselined and unbaselined. A (rule, file) group
+/// with more findings than its baselined count is reported whole -- the
+/// linter cannot tell old findings from new ones without line pinning.
+[[nodiscard]] BaselineSplit apply_baseline(
+    const std::vector<Diagnostic>& diags, const Baseline& baseline);
+
+// ---------------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------------
+
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, driver "hblint",
+/// every catalogue rule listed, one result per diagnostic with a
+/// repo-relative artifact URI and 1-based start line).
+[[nodiscard]] std::string sarif_report(const std::vector<Diagnostic>& diags);
 
 }  // namespace hblint

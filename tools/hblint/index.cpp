@@ -1,0 +1,421 @@
+#include "hblint/index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "hblint/lexer.hpp"
+
+namespace hblint {
+namespace {
+
+constexpr std::size_t npos = std::string::npos;
+
+/// Keywords that can precede a '(' without naming a function.
+bool is_control_keyword(const std::string& word) {
+  static const char* const kWords[] = {
+      "if",     "for",    "while",    "switch",        "catch",
+      "return", "sizeof", "alignof",  "decltype",      "static_assert",
+      "assert", "do",     "co_await", "co_return",     "co_yield",
+      "new",    "delete", "throw",    "alignas",       "noexcept",
+      "else",   "case",   "operator", "static_cast",   "const_cast",
+      "defined"};
+  for (const char* w : kWords) {
+    if (word == w) return true;
+  }
+  return false;
+}
+
+/// Walks backwards from `pos` looking for the opening '(' of the innermost
+/// enclosing parameter list. Returns npos when a statement boundary
+/// (; { }) appears first -- i.e. `pos` is not inside a parameter list.
+std::size_t enclosing_paren_open(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  const std::size_t limit = pos > 4000 ? pos - 4000 : 0;
+  std::size_t i = pos;
+  while (i > limit) {
+    --i;
+    const char c = text[i];
+    if (c == ')') ++depth;
+    if (c == '(') {
+      if (depth == 0) return i;
+      --depth;
+    }
+    if (depth == 0 && (c == ';' || c == '{' || c == '}')) return npos;
+  }
+  return npos;
+}
+
+/// After a parameter list's closing ')', classify the declarator: returns
+/// 1 for a definition ('{' possibly after const/noexcept/trailing-return/
+/// ctor-init-list), 0 for a declaration (';' or '= default' etc.), -1 when
+/// unrecognized.
+int classify_after_params(const std::string& text, std::size_t close) {
+  std::size_t i = close + 1;
+  const std::size_t limit = std::min(text.size(), close + 800);
+  while (i < limit) {
+    const std::size_t p = lex::next_nonspace(text, i);
+    if (p == npos || p >= limit) return -1;
+    const char c = text[p];
+    if (c == '{') return 1;
+    if (c == ';') return 0;
+    if (c == '=') return 0;  // = default / = delete / = 0
+    if (c == ':') return 1;  // ctor init list
+    if (c == '-' && p + 1 < text.size() && text[p + 1] == '>') {
+      // Trailing return type: scan to the '{' or ';' that ends it.
+      std::size_t q = p + 2;
+      while (q < limit && text[q] != '{' && text[q] != ';') ++q;
+      if (q >= limit) return -1;
+      return text[q] == '{' ? 1 : 0;
+    }
+    if (lex::is_word(c)) {  // const, noexcept, override, final, ...
+      std::size_t q = p;
+      while (q < text.size() && lex::is_word(text[q])) ++q;
+      // noexcept(...) / requires(...) clause arguments.
+      const std::size_t r = lex::next_nonspace(text, q);
+      if (r != npos && r < limit && text[r] == '(') {
+        const std::size_t rc = lex::match_forward(text, r, '(', ')');
+        if (rc == npos) return -1;
+        i = rc + 1;
+        continue;
+      }
+      i = q;
+      continue;
+    }
+    return -1;
+  }
+  return -1;
+}
+
+void collect_includes(const std::vector<std::string>& raw_lines,
+                      FileIndex& fi) {
+  static const std::regex kInclude(R"(^\s*#\s*include\s*\"([^\"]+)\")");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(raw_lines[i], m, kInclude)) {
+      fi.includes.push_back({m[1].str(), i + 1});
+    }
+  }
+}
+
+void collect_functions(FileIndex& fi) {
+  const std::string& text = fi.blanked;
+  for (std::size_t open = text.find('(');open != npos;
+       open = text.find('(', open + 1)) {
+    const std::size_t prev = lex::prev_nonspace(text, open);
+    if (prev == npos || !lex::is_word(text[prev])) continue;
+    std::size_t name_begin = 0;
+    const std::string name = lex::word_ending_at(text, prev + 1, &name_begin);
+    if (name.empty() || is_control_keyword(name)) continue;
+    if (std::isdigit(static_cast<unsigned char>(name.front())) != 0) continue;
+    // `operator` overloads and macros expanding to statements are skipped by
+    // classify_after_params (no bare '{' follows a macro call statement).
+    const std::size_t close = lex::match_forward(text, open, '(', ')');
+    if (close == npos) continue;
+    if (classify_after_params(text, close) != 1) continue;
+    const std::size_t brace = text.find('{', close);
+    if (brace == npos) continue;
+    const std::size_t body_end = lex::match_forward(text, brace, '{', '}');
+    if (body_end == npos) continue;
+    FunctionDef fn;
+    fn.name = name;
+    fn.line = lex::line_of(text, name_begin);
+    fn.params_begin = open + 1;
+    fn.params_end = close;
+    fn.body_begin = brace + 1;
+    fn.body_end = body_end;
+    fi.functions.push_back(std::move(fn));
+  }
+}
+
+void collect_observer_sigs(FileIndex& fi) {
+  const std::string& text = fi.blanked;
+  static const std::regex kObserver(
+      R"(\bobs\s*::\s*(Sink|ProgressBoard)\s*\*)");
+  std::map<std::size_t, ObserverSig> by_open;  // param-list open -> sig
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kObserver);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position());
+    const std::size_t open = enclosing_paren_open(text, pos);
+    if (open == npos) continue;  // struct member / local, not a parameter
+    const std::size_t name_end = lex::prev_nonspace(text, open);
+    if (name_end == npos || !lex::is_word(text[name_end])) continue;
+    std::size_t name_begin = 0;
+    const std::string name =
+        lex::word_ending_at(text, name_end + 1, &name_begin);
+    if (name.empty() || is_control_keyword(name)) continue;
+    const std::size_t close = lex::match_forward(text, open, '(', ')');
+    if (close == npos || pos > close) continue;
+    const int kind_class = classify_after_params(text, close);
+    if (kind_class < 0) continue;  // call site or unrecognized declarator
+
+    // The parameter's text runs to the next top-level ',' or the ')'.
+    std::size_t end = static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length());
+    int depth = 0;
+    while (end < close) {
+      const char c = text[end];
+      if (c == '(' || c == '<' || c == '{' || c == '[') ++depth;
+      if (c == ')' || c == '>' || c == '}' || c == ']') --depth;
+      if (c == ',' && depth == 0) break;
+      ++end;
+    }
+    const std::string param_tail = text.substr(
+        static_cast<std::size_t>(it->position()) +
+            static_cast<std::size_t>(it->length()),
+        end - (static_cast<std::size_t>(it->position()) +
+               static_cast<std::size_t>(it->length())));
+
+    ObserverSig& sig = by_open[open];
+    if (sig.name.empty()) {
+      sig.name = name;
+      sig.line = lex::line_of(text, name_begin);
+      sig.is_definition = kind_class == 1;
+    }
+    ObserverParam p;
+    p.kind = (*it)[1].str() == "Sink" ? ObserverKind::kSink
+                                      : ObserverKind::kProgressBoard;
+    p.has_default = param_tail.find('=') != npos;
+    p.pos = pos;
+    sig.observers.push_back(p);
+  }
+  for (auto& [open, sig] : by_open) {
+    fi.observer_sigs.push_back(std::move(sig));
+  }
+}
+
+void collect_unordered_names(FileIndex& fi) {
+  const std::string& blanked = fi.blanked;
+  static const std::regex kDecl(R"(\bunordered_(map|set)\b)");
+  auto begin = std::sregex_iterator(blanked.begin(), blanked.end(), kDecl);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::size_t p = static_cast<std::size_t>(it->position()) +
+                    static_cast<std::size_t>(it->length());
+    while (p < blanked.size() && std::isspace(static_cast<unsigned char>(
+                                     blanked[p]))) {
+      ++p;
+    }
+    if (p >= blanked.size() || blanked[p] != '<') continue;
+    int depth = 0;
+    while (p < blanked.size()) {
+      if (blanked[p] == '<') ++depth;
+      if (blanked[p] == '>') {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++p;
+    }
+    if (p >= blanked.size()) continue;
+    ++p;  // past closing '>'
+    while (p < blanked.size() &&
+           (std::isspace(static_cast<unsigned char>(blanked[p])) ||
+            blanked[p] == '&' || blanked[p] == '*')) {
+      ++p;
+    }
+    std::string name;
+    while (p < blanked.size() && lex::is_word(blanked[p])) {
+      name.push_back(blanked[p]);
+      ++p;
+    }
+    // `>::iterator` and friends produce no name; `>(...)` casts neither.
+    if (!name.empty() &&
+        !std::isdigit(static_cast<unsigned char>(name.front()))) {
+      fi.unordered_names.push_back(name);
+    }
+  }
+  std::sort(fi.unordered_names.begin(), fi.unordered_names.end());
+  fi.unordered_names.erase(
+      std::unique(fi.unordered_names.begin(), fi.unordered_names.end()),
+      fi.unordered_names.end());
+}
+
+void collect_stream_vars(FileIndex& fi) {
+  static const std::regex kStreamDecl(
+      R"(\b(?:ofstream|ostream|ostringstream|fstream|stringstream)\b\s*&?\s*(\w+))");
+  static const std::regex kFileDecl(R"(\bFILE\s*\*\s*(\w+))");
+  for (const auto* re : {&kStreamDecl, &kFileDecl}) {
+    auto begin = std::sregex_iterator(fi.blanked.begin(), fi.blanked.end(),
+                                      *re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      fi.stream_vars.push_back((*it)[1].str());
+    }
+  }
+  std::sort(fi.stream_vars.begin(), fi.stream_vars.end());
+  fi.stream_vars.erase(
+      std::unique(fi.stream_vars.begin(), fi.stream_vars.end()),
+      fi.stream_vars.end());
+}
+
+}  // namespace
+
+bool region_writes_stream(const FileIndex& fi, std::size_t begin,
+                          std::size_t end) {
+  static const std::regex kPrintf(
+      R"(\b(?:fprintf|printf|fputs|fputc|fwrite)\s*\()");
+  const std::string body = fi.blanked.substr(begin, end - begin);
+  if (std::regex_search(body, kPrintf)) return true;
+  static const std::regex kShift(R"((\w+)\s*<<)");
+  auto it = std::sregex_iterator(body.begin(), body.end(), kShift);
+  for (; it != std::sregex_iterator(); ++it) {
+    if (std::binary_search(fi.stream_vars.begin(), fi.stream_vars.end(),
+                           (*it)[1].str())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+void collect_stream_writers(FileIndex& fi) {
+  for (const FunctionDef& fn : fi.functions) {
+    if (region_writes_stream(fi, fn.body_begin, fn.body_end)) {
+      fi.stream_writers.push_back(fn.name);
+    }
+  }
+  std::sort(fi.stream_writers.begin(), fi.stream_writers.end());
+  fi.stream_writers.erase(
+      std::unique(fi.stream_writers.begin(), fi.stream_writers.end()),
+      fi.stream_writers.end());
+}
+
+Suppressions parse_suppressions(const std::vector<std::string>& raw_lines) {
+  Suppressions sup;
+  static const std::regex kAllow(
+      R"(hblint:\s*(allow|allow-file)\(([^)]*)\))");
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    auto begin = std::sregex_iterator(raw_lines[i].begin(),
+                                      raw_lines[i].end(), kAllow);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      std::stringstream rules((*it)[2].str());
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                   rule.end());
+        if (rule.empty()) continue;
+        if ((*it)[1].str() == "allow-file") {
+          sup.file_allows.push_back(rule);
+        } else {
+          sup.line_allows.emplace_back(rule, i + 1);
+        }
+      }
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+bool Suppressions::allows(const std::string& rule, std::size_t line) const {
+  for (const auto& r : file_allows) {
+    if (r == rule || r == "*") return true;
+  }
+  for (const auto& [r, l] : line_allows) {
+    if (l == line && (r == rule || r == "*")) return true;
+  }
+  return false;
+}
+
+std::string repo_relative(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  std::size_t best = npos;
+  for (const char* root : {"src/", "tools/", "tests/"}) {
+    const std::string needle = std::string("/") + root;
+    const std::size_t at = p.rfind(needle);
+    if (at != npos && (best == npos || at + 1 > best)) best = at + 1;
+    if (p.rfind(root, 0) == 0 && best == npos) best = 0;
+  }
+  return best == npos ? p : p.substr(best);
+}
+
+std::string subsystem_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == npos) return {};
+  return rel.substr(4, slash - 4);
+}
+
+FileIndex build_file_index(const std::string& path,
+                           const std::string& content) {
+  FileIndex fi;
+  fi.path = path;
+
+  // Fixture pragmas: `hblint-path:` substitutes the path used for
+  // scope/subsystem decisions; `hblint-scope:` overrides the scope.
+  std::string effective = path;
+  static const std::regex kPathPragma(R"(hblint-path:\s*([\w./\\-]+))");
+  std::smatch pm;
+  if (std::regex_search(content, pm, kPathPragma)) {
+    effective = pm[1].str();
+  }
+  fi.rel = repo_relative(effective);
+  fi.subsystem = subsystem_of(fi.rel);
+  fi.is_header = effective.ends_with(".hpp") || effective.ends_with(".hh") ||
+                 effective.ends_with(".h");
+  fi.in_obs = effective.find("obs/") != npos ||
+              effective.find("obs\\") != npos;
+  fi.scope = scope_of_path(effective);
+  static const std::regex kScopePragma(
+      R"(hblint-scope:\s*(src|obs|tools|tests))");
+  std::smatch m;
+  if (std::regex_search(content, m, kScopePragma)) {
+    const std::string s = m[1].str();
+    fi.scope = (s == "src" || s == "obs") ? Scope::kLibrary
+               : s == "tools"             ? Scope::kTools
+                                          : Scope::kTests;
+    if (s == "src") fi.in_obs = false;
+    if (s == "obs") fi.in_obs = true;
+  }
+
+  fi.blanked = lex::blank_noncode(content);
+  fi.lines = lex::split_lines(fi.blanked);
+  const std::vector<std::string> raw_lines = lex::split_lines(content);
+  fi.suppressions = parse_suppressions(raw_lines);
+  collect_includes(raw_lines, fi);
+  collect_functions(fi);
+  collect_observer_sigs(fi);
+  collect_unordered_names(fi);
+  collect_stream_vars(fi);
+  collect_stream_writers(fi);
+  return fi;
+}
+
+RepoIndex build_repo_index(const std::vector<std::string>& paths) {
+  RepoIndex repo;
+  repo.files.reserve(paths.size());
+  for (const std::string& p : paths) {
+    // Unreadable files are reported by lint_file/lint_tree; here they just
+    // produce an empty index.
+    std::string content;
+    {
+      std::ifstream in(p, std::ios::binary);
+      if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        content = buf.str();
+      }
+    }
+    repo.files.push_back(build_file_index(p, content));
+  }
+  for (const FileIndex& fi : repo.files) {
+    for (const std::string& w : fi.stream_writers) {
+      repo.stream_writers.insert(w);
+    }
+    if (!fi.is_header) continue;
+    for (const ObserverSig& sig : fi.observer_sigs) {
+      std::vector<ObserverKind> kinds;
+      kinds.reserve(sig.observers.size());
+      for (const ObserverParam& p : sig.observers) kinds.push_back(p.kind);
+      auto& sigs = repo.header_sigs[sig.name];
+      if (std::find(sigs.begin(), sigs.end(), kinds) == sigs.end()) {
+        sigs.push_back(std::move(kinds));
+      }
+    }
+  }
+  return repo;
+}
+
+}  // namespace hblint

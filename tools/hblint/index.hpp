@@ -1,0 +1,127 @@
+// hblint indexing layer: per-file symbol tables and the repo-wide view the
+// cross-file rules run against.
+//
+// `build_file_index` runs the lexer over one file and extracts everything
+// the rule engine needs positionally:
+//   * quoted #include targets (the subsystem include graph),
+//   * named function definitions (name, parameter range, body range),
+//   * observer-parameter signatures: every function whose parameter list
+//     mentions `obs::Sink*` or `obs::ProgressBoard*`, with per-parameter
+//     default information and declaration/definition classification,
+//   * declared unordered_map/unordered_set variable names,
+//   * declared stream variables (std::ostream&/std::ofstream/FILE*) and
+//     the names of functions in this file that write to streams,
+//   * suppression comments and fixture pragmas.
+//
+// `RepoIndex` is just the collection of file indexes plus the lookups that
+// only make sense across files (header signatures by function name, the
+// repo-wide set of stream-writing functions).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hblint/hblint.hpp"
+
+namespace hblint {
+
+/// One quoted include directive: `#include "graph/graph.hpp"` yields
+/// target "graph/graph.hpp".
+struct IncludeEdge {
+  std::string target;
+  std::size_t line = 0;
+};
+
+/// A named function with a body (token-level heuristic: identifier,
+/// balanced parameter list, then `{`). Offsets index the blanked text;
+/// body range excludes the braces.
+struct FunctionDef {
+  std::string name;
+  std::size_t line = 0;
+  std::size_t params_begin = 0, params_end = 0;
+  std::size_t body_begin = 0, body_end = 0;
+};
+
+enum class ObserverKind { kSink, kProgressBoard };
+
+struct ObserverParam {
+  ObserverKind kind = ObserverKind::kSink;
+  bool has_default = false;
+  std::size_t pos = 0;  // offset of the `obs::` token
+};
+
+/// A function signature that carries at least one observer parameter.
+struct ObserverSig {
+  std::string name;
+  std::size_t line = 0;
+  bool is_definition = false;  // parameter list followed by `{`
+  std::vector<ObserverParam> observers;  // in parameter order
+};
+
+/// Per-line and per-file `hblint: allow(...)` suppressions.
+struct Suppressions {
+  std::vector<std::pair<std::string, std::size_t>> line_allows;
+  std::vector<std::string> file_allows;
+
+  [[nodiscard]] bool allows(const std::string& rule, std::size_t line) const;
+};
+
+struct FileIndex {
+  std::string path;  // as given to the linter
+  std::string rel;   // repo-relative (src/..., tools/..., tests/...)
+  Scope scope = Scope::kLibrary;
+  bool is_header = false;
+  bool in_obs = false;
+  std::string subsystem;  // "core", "sim", ... when rel is under src/
+
+  std::string blanked;
+  std::vector<std::string> lines;  // blanked, per line
+  Suppressions suppressions;
+
+  std::vector<IncludeEdge> includes;
+  std::vector<FunctionDef> functions;
+  std::vector<ObserverSig> observer_sigs;
+  std::vector<std::string> unordered_names;   // sorted, unique
+  std::vector<std::string> stream_vars;       // sorted, unique
+  std::vector<std::string> stream_writers;    // function names, sorted
+};
+
+/// Normalizes an absolute or relative path to its repo-relative form by
+/// cutting at the last `src/`, `tools/`, or `tests/` component; returns the
+/// input unchanged when none is present.
+[[nodiscard]] std::string repo_relative(const std::string& path);
+
+/// Subsystem of a repo-relative path (`src/<sub>/...` -> "<sub>"; empty
+/// otherwise).
+[[nodiscard]] std::string subsystem_of(const std::string& rel);
+
+/// Builds the full per-file index. Honors the fixture pragmas
+/// `hblint-scope: src|obs|tools|tests` and `hblint-path: <virtual path>`
+/// (the latter substitutes the path used for scope/subsystem decisions so
+/// fixtures can exercise path-dependent rules from tests/lint_fixtures/).
+[[nodiscard]] FileIndex build_file_index(const std::string& path,
+                                         const std::string& content);
+
+struct RepoIndex {
+  std::vector<FileIndex> files;
+  /// Function names (across the whole tree) whose bodies write to streams.
+  std::set<std::string> stream_writers;
+  /// Header observer signatures by function name: every distinct observer
+  /// kind-sequence declared for that name in any header.
+  std::map<std::string, std::vector<std::vector<ObserverKind>>> header_sigs;
+};
+
+/// Indexes every file and fills the cross-file lookup tables.
+[[nodiscard]] RepoIndex build_repo_index(
+    const std::vector<std::string>& paths);
+
+/// True when [begin, end) of the file's blanked text performs a stream
+/// write: an fprintf-family call, or `var <<` with `var` one of the file's
+/// known stream variables.
+[[nodiscard]] bool region_writes_stream(const FileIndex& fi,
+                                        std::size_t begin, std::size_t end);
+
+}  // namespace hblint

@@ -1,0 +1,199 @@
+#include "hblint/lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hblint::lex {
+
+std::string blank_noncode(const std::string& content) {
+  std::string out = content;
+  enum class St {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  St st = St::kCode;
+  std::string raw_close;  // )delim" of the active raw string
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = St::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string if preceded by R (and that R is not part of an
+          // identifier like DIR).
+          const bool raw =
+              i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || (!std::isalnum(static_cast<unsigned char>(
+                             content[i - 2])) &&
+                         content[i - 2] != '_'));
+          if (raw) {
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < content.size() && content[p] != '(') {
+              delim.push_back(content[p]);
+              ++p;
+            }
+            raw_close = ")" + delim + "\"";
+            st = St::kRawString;
+          } else {
+            st = St::kString;
+          }
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are not character literals.
+          const bool digit_sep =
+              i > 0 &&
+              std::isdigit(static_cast<unsigned char>(content[i - 1])) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (!digit_sep) st = St::kChar;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n' && i + 1 < content.size()) out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRawString:
+        if (content.compare(i, raw_close.size(), raw_close) == 0) {
+          for (std::size_t k = 0; k < raw_close.size(); ++k) {
+            if (content[i + k] != '\n') out[i + k] = ' ';
+          }
+          i += raw_close.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(),
+                            text.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(pos, text.size())),
+                            '\n'));
+}
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t match_forward(const std::string& text, std::size_t pos,
+                          char open, char close) {
+  if (pos >= text.size() || text[pos] != open) return std::string::npos;
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) ++depth;
+    if (text[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t prev_nonspace(const std::string& text, std::size_t pos) {
+  std::size_t i = std::min(pos, text.size());
+  while (i > 0) {
+    --i;
+    if (std::isspace(static_cast<unsigned char>(text[i])) == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::size_t next_nonspace(const std::string& text, std::size_t pos) {
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) == 0) return i;
+  }
+  return std::string::npos;
+}
+
+std::string word_ending_at(const std::string& text, std::size_t end,
+                           std::size_t* begin_out) {
+  std::size_t begin = std::min(end, text.size());
+  while (begin > 0 && is_word(text[begin - 1])) --begin;
+  if (begin_out != nullptr) *begin_out = begin;
+  return text.substr(begin, std::min(end, text.size()) - begin);
+}
+
+std::vector<Token> identifiers(const std::string& blanked, std::size_t begin,
+                               std::size_t end) {
+  std::vector<Token> out;
+  end = std::min(end, blanked.size());
+  std::size_t i = begin;
+  while (i < end) {
+    if (is_word(blanked[i]) &&
+        std::isdigit(static_cast<unsigned char>(blanked[i])) == 0) {
+      std::size_t j = i;
+      while (j < end && is_word(blanked[j])) ++j;
+      out.push_back({blanked.substr(i, j - i), i});
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hblint::lex

@@ -1,0 +1,64 @@
+// hblint lexing layer: comment/literal blanking and the small positional
+// helpers every other module builds on. Nothing here knows about rules.
+//
+// The central idea is unchanged from v1: `blank_noncode` replaces every
+// comment, string literal, character literal, and raw string with spaces
+// (preserving newlines), so the index and rule layers can match against
+// code tokens only without a real parser.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hblint::lex {
+
+/// Returns `content` with every comment, string literal, and character
+/// literal replaced by spaces (newlines preserved). Handles //, /* */,
+/// "..." with escapes, '...', and raw strings R"delim(...)delim".
+[[nodiscard]] std::string blank_noncode(const std::string& content);
+
+/// Splits on '\n'; the trailing segment is kept even when empty.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+
+/// 1-based line of byte offset `pos` in `text`.
+[[nodiscard]] std::size_t line_of(const std::string& text, std::size_t pos);
+
+/// Identifier characters: [A-Za-z0-9_].
+[[nodiscard]] bool is_word(char c);
+
+/// Position of the bracket matching the `open` at `pos` (text[pos] must be
+/// `open`); npos when unbalanced. Counts nested `open`/`close` pairs only,
+/// so it must run over blanked text.
+[[nodiscard]] std::size_t match_forward(const std::string& text,
+                                        std::size_t pos, char open,
+                                        char close);
+
+/// Position of the last non-whitespace character strictly before `pos`;
+/// npos when there is none.
+[[nodiscard]] std::size_t prev_nonspace(const std::string& text,
+                                        std::size_t pos);
+
+/// Position of the first non-whitespace character at or after `pos`; npos
+/// when there is none.
+[[nodiscard]] std::size_t next_nonspace(const std::string& text,
+                                        std::size_t pos);
+
+/// The identifier ending at `end` (exclusive); empty if text[end-1] is not
+/// a word character. `begin_out`, when non-null, receives the start offset.
+[[nodiscard]] std::string word_ending_at(const std::string& text,
+                                         std::size_t end,
+                                         std::size_t* begin_out = nullptr);
+
+/// An identifier token with its byte offset.
+struct Token {
+  std::string text;
+  std::size_t pos = 0;
+};
+
+/// All identifier tokens in [begin, end) of blanked text, in order.
+[[nodiscard]] std::vector<Token> identifiers(const std::string& blanked,
+                                             std::size_t begin,
+                                             std::size_t end);
+
+}  // namespace hblint::lex

@@ -1,20 +1,52 @@
 // hblint CLI. Usage:
 //
-//   hblint [--list-rules] <file-or-dir>...
+//   hblint [--list-rules] [--baseline <file>] [--write-baseline <file>]
+//          [--sarif <file>] <file-or-dir>...
 //
 // Lints every .cpp/.cc/.hpp/.hh/.h under the given paths (skipping
-// lint_fixtures, build*, and dot directories), prints
-// `file:line: [rule] message` diagnostics, and exits 1 if any fired.
-// Run over this repository: `hblint src tools tests` (the `lint` CMake
+// lint_fixtures, build*, and dot directories) as one program -- the
+// cross-file rules (layering, signature-contract, emission-order
+// reachability) see the whole include graph. Prints
+// `file:line: [rule] message` diagnostics and exits 1 if any finding is
+// not absorbed by the baseline.
+//
+//   --baseline <file>        tolerate the findings recorded in <file>
+//                            (missing file = empty baseline)
+//   --write-baseline <file>  write the current findings as the new
+//                            baseline and exit 0
+//   --sarif <file>           also write a SARIF 2.1.0 log of the
+//                            unbaselined findings (for code scanning)
+//
+// Run over this repository: `hblint --baseline
+// tools/hblint/hblint-baseline.txt src tools tests` (the `lint` CMake
 // target and the `hblint.tree` CTest entry do exactly that).
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "hblint/hblint.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: hblint [--list-rules] [--baseline FILE] [--write-baseline FILE]"
+    " [--sarif FILE] <file-or-dir>...\n";
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -24,13 +56,34 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: hblint [--list-rules] <file-or-dir>...\n");
+      std::printf("%s", kUsage);
       return 0;
+    }
+    const auto take_value = [&](std::string& dst) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hblint: %s needs a file argument\n%s",
+                     arg.c_str(), kUsage);
+        return false;
+      }
+      dst = argv[++i];
+      return true;
+    };
+    if (arg == "--baseline") {
+      if (!take_value(baseline_path)) return 2;
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      if (!take_value(write_baseline_path)) return 2;
+      continue;
+    }
+    if (arg == "--sarif") {
+      if (!take_value(sarif_path)) return 2;
+      continue;
     }
     roots.push_back(arg);
   }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: hblint [--list-rules] <file-or-dir>...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
@@ -39,19 +92,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "hblint: no lintable files under given paths\n");
     return 2;
   }
-  std::size_t findings = 0;
-  for (const std::string& file : files) {
-    for (const auto& d : hblint::lint_file(file)) {
-      std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
-                  d.rule.c_str(), d.message.c_str());
-      ++findings;
+
+  const std::vector<hblint::Diagnostic> all = hblint::lint_tree(files);
+
+  if (!write_baseline_path.empty()) {
+    if (!write_text(write_baseline_path, hblint::serialize_baseline(all))) {
+      std::fprintf(stderr, "hblint: cannot write baseline to %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("hblint: wrote baseline (%zu finding(s)) to %s\n",
+                all.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  const hblint::Baseline baseline =
+      baseline_path.empty() ? hblint::Baseline{}
+                            : hblint::load_baseline(baseline_path);
+  const hblint::BaselineSplit split = hblint::apply_baseline(all, baseline);
+
+  for (const auto& d : split.unbaselined) {
+    std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!sarif_path.empty()) {
+    if (!write_text(sarif_path, hblint::sarif_report(split.unbaselined))) {
+      std::fprintf(stderr, "hblint: cannot write SARIF to %s\n",
+                   sarif_path.c_str());
+      return 2;
     }
   }
-  if (findings > 0) {
-    std::fprintf(stderr, "hblint: %zu finding(s) in %zu file(s) scanned\n",
-                 findings, files.size());
+
+  if (!split.unbaselined.empty()) {
+    std::fprintf(stderr,
+                 "hblint: %zu new finding(s) in %zu file(s) scanned"
+                 " (%zu baselined)\n",
+                 split.unbaselined.size(), files.size(), split.baselined);
     return 1;
   }
-  std::printf("hblint: clean (%zu files)\n", files.size());
+  if (split.baselined > 0) {
+    std::printf("hblint: clean (%zu files, %zu baselined finding(s))\n",
+                files.size(), split.baselined);
+  } else {
+    std::printf("hblint: clean (%zu files)\n", files.size());
+  }
   return 0;
 }

@@ -1,0 +1,171 @@
+// hblint reporting layer: the committed baseline format and the SARIF
+// 2.1.0 export consumed by GitHub code scanning.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hblint/hblint.hpp"
+#include "hblint/index.hpp"
+
+namespace hblint {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Groups diagnostics by (rule, repo-relative file).
+std::map<std::pair<std::string, std::string>, std::size_t> group_counts(
+    const std::vector<Diagnostic>& diags) {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const Diagnostic& d : diags) {
+    ++counts[{d.rule, repo_relative(d.file)}];
+  }
+  return counts;
+}
+
+}  // namespace
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline b;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::istringstream fields(t);
+    std::string rule, file;
+    std::size_t count = 0;
+    if (fields >> rule >> file >> count && count > 0) {
+      b.entries[{rule, file}] += count;
+    }
+  }
+  return b;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_baseline(ss.str());
+}
+
+std::string serialize_baseline(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "# hblint baseline: known findings tolerated by CI.\n"
+         "# Format: <rule> <repo-relative-file> <count>\n"
+         "# Entries are line-number free so unrelated edits do not\n"
+         "# invalidate them; a group fails lint only when it grows past\n"
+         "# its baselined count. Regenerate with `hblint --write-baseline`.\n";
+  for (const auto& [key, count] : group_counts(diags)) {
+    out << key.first << ' ' << key.second << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+BaselineSplit apply_baseline(const std::vector<Diagnostic>& diags,
+                             const Baseline& baseline) {
+  BaselineSplit split;
+  const auto counts = group_counts(diags);
+  for (const Diagnostic& d : diags) {
+    const std::pair<std::string, std::string> key{d.rule,
+                                                  repo_relative(d.file)};
+    const auto it = baseline.entries.find(key);
+    const std::size_t tolerated =
+        it == baseline.entries.end() ? 0 : it->second;
+    if (counts.at(key) <= tolerated) {
+      ++split.baselined;
+    } else {
+      // The group grew: report it whole, since without line pinning the
+      // linter cannot tell which findings are the new ones.
+      split.unbaselined.push_back(d);
+    }
+  }
+  return split;
+}
+
+std::string sarif_report(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  out << "{\n"
+         "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+         "Schemata/sarif-schema-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \"hblint\",\n"
+         "          \"informationUri\": "
+         "\"docs/static_analysis.md\",\n"
+         "          \"rules\": [\n";
+  const std::vector<RuleInfo>& catalogue = rules();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    out << "            {\"id\": \"" << json_escape(catalogue[i].name)
+        << "\", \"shortDescription\": {\"text\": \""
+        << json_escape(catalogue[i].description) << "\"}}"
+        << (i + 1 < catalogue.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+         "        }\n"
+         "      },\n"
+         "      \"results\": [\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    out << "        {\"ruleId\": \"" << json_escape(d.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(d.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(repo_relative(d.file))
+        << "\"}, \"region\": {\"startLine\": " << d.line << "}}}]}"
+        << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+         "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.str();
+}
+
+}  // namespace hblint

@@ -1,0 +1,897 @@
+#include "hblint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "hblint/lexer.hpp"
+
+namespace hblint {
+namespace {
+
+constexpr std::size_t npos = std::string::npos;
+
+struct Ctx {
+  const FileIndex* fi = nullptr;
+  const RepoIndex* repo = nullptr;
+  std::vector<Diagnostic>* out = nullptr;
+
+  void report(std::size_t line, const char* rule, std::string message) const {
+    out->push_back({fi->path, line, rule, std::move(message)});
+  }
+  void report_at(std::size_t pos, const char* rule,
+                 std::string message) const {
+    report(lex::line_of(fi->blanked, pos), rule, std::move(message));
+  }
+};
+
+/// Applies `re` line by line and reports each match.
+void flag_lines(const Ctx& ctx, const std::regex& re, const char* rule,
+                const std::string& message) {
+  for (std::size_t i = 0; i < ctx.fi->lines.size(); ++i) {
+    if (std::regex_search(ctx.fi->lines[i], re)) {
+      ctx.report(i + 1, rule, message);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// v1 rules: banned nondeterminism sources, resource conventions, obs
+// conventions. Unchanged semantics, now reading the index.
+// ---------------------------------------------------------------------------
+
+void rule_banned_sources(const Ctx& ctx) {
+  static const std::regex kRand(
+      R"((^|[^\w:])(std\s*::\s*)?(rand|srand)\s*\()");
+  flag_lines(ctx, kRand, "no-rand",
+             "banned nondeterminism source; seed a std::mt19937_64 from the "
+             "run's config instead");
+  static const std::regex kTime(R"((^|[^\w])(std\s*::\s*)?time\s*\()");
+  flag_lines(ctx, kTime, "no-time-seed",
+             "time() reads the wall clock; results must be a pure function "
+             "of the config/seed");
+  static const std::regex kRandomDevice(R"(\brandom_device\b)");
+  flag_lines(ctx, kRandomDevice, "no-random-device",
+             "std::random_device is nondeterministic; accept a seed and use "
+             "std::mt19937_64 (suppress only at a documented seeded-RNG "
+             "construction site)");
+}
+
+void rule_no_raw_new(const Ctx& ctx) {
+  static const std::regex kNew(R"(\bnew\b)");
+  flag_lines(ctx, kNew, "no-raw-new",
+             "raw new; use a container or std::make_unique");
+  // `= delete` (deleted functions) is legal C++ hygiene; only flag delete
+  // applied to an operand.
+  for (std::size_t i = 0; i < ctx.fi->lines.size(); ++i) {
+    const std::string& line = ctx.fi->lines[i];
+    for (std::size_t pos = line.find("delete"); pos != npos;
+         pos = line.find("delete", pos + 1)) {
+      if (pos > 0 && lex::is_word(line[pos - 1])) continue;
+      if (pos + 6 < line.size() && lex::is_word(line[pos + 6])) continue;
+      std::size_t left = pos;
+      while (left > 0 && std::isspace(static_cast<unsigned char>(
+                             line[left - 1]))) {
+        --left;
+      }
+      if (left > 0 && line[left - 1] == '=') continue;
+      ctx.report(i + 1, "no-raw-new",
+                 "raw delete; owning containers/smart pointers free their "
+                 "storage themselves");
+    }
+  }
+}
+
+void rule_unordered_iteration(const Ctx& ctx) {
+  for (const std::string& name : ctx.fi->unordered_names) {
+    const std::regex range_for(R"(for\s*\([^)]*:\s*\*?)" + name +
+                               R"(\s*\))");
+    flag_lines(ctx, range_for, "unordered-iteration",
+               "range-for over unordered container '" + name +
+                   "': iteration order is a hash-table implementation "
+                   "detail; extract into a vector, sort, then iterate "
+                   "(or suppress if order provably cannot reach results "
+                   "or telemetry)");
+  }
+}
+
+/// Entry points whose declarations must keep the trailing
+/// `obs::Sink* = nullptr` observability parameter.
+const char* const kSinkEntryPoints[] = {
+    "run_simulation", "run_simulation_with_fault_events",
+    "run_simulation_sharded", "run_wormhole", "run_protocol",
+    "route_around_faults", "hb_greedy_broadcast",
+    "hb_structured_broadcast",
+};
+
+void rule_sink_default(const Ctx& ctx) {
+  const std::string& blanked = ctx.fi->blanked;
+  // (a) Every `obs::Sink*` parameter in a header must be defaulted to
+  // nullptr: a caller must never be forced to thread observability through.
+  static const std::regex kSinkParam(R"(obs\s*::\s*Sink\s*\*)");
+  static const std::regex kDefaulted(R"(=\s*nullptr)");
+  auto begin = std::sregex_iterator(blanked.begin(), blanked.end(),
+                                    kSinkParam);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::size_t p = static_cast<std::size_t>(it->position()) +
+                    static_cast<std::size_t>(it->length());
+    // The parameter's text ends at a top-level ',', ')' or ';'.
+    int depth = 0;
+    std::size_t end = p;
+    while (end < blanked.size()) {
+      const char c = blanked[end];
+      if (c == '(' || c == '<' || c == '{') ++depth;
+      if (c == ')' || c == '>' || c == '}') {
+        if (depth == 0) break;
+        --depth;
+      }
+      if ((c == ',' || c == ';') && depth == 0) break;
+      ++end;
+    }
+    const std::string param = blanked.substr(p, end - p);
+    if (!std::regex_search(param, kDefaulted)) {
+      ctx.report_at(static_cast<std::size_t>(it->position()), "sink-default",
+                    "obs::Sink* parameter in a header must default to "
+                    "nullptr (observability is opt-in at every call site)");
+    }
+  }
+  // (b) Known simulator/broadcast entry points must carry the parameter at
+  // all -- removing it entirely would otherwise pass check (a).
+  for (const char* name : kSinkEntryPoints) {
+    const std::regex decl(std::string(R"(\b)") + name + R"(\s*\()");
+    auto dbegin = std::sregex_iterator(blanked.begin(), blanked.end(), decl);
+    for (auto it = dbegin; it != std::sregex_iterator(); ++it) {
+      std::size_t open = static_cast<std::size_t>(it->position()) +
+                         static_cast<std::size_t>(it->length()) - 1;
+      const std::size_t close = lex::match_forward(blanked, open, '(', ')');
+      if (close == npos) continue;
+      const std::string params = blanked.substr(open, close - open);
+      static const std::regex kSinkDefaulted(
+          R"(Sink\s*\*\s*\w*\s*=\s*nullptr)");
+      if (!std::regex_search(params, kSinkDefaulted)) {
+        ctx.report_at(
+            static_cast<std::size_t>(it->position()), "sink-default",
+            std::string("entry point '") + name +
+                "' must keep its trailing `obs::Sink* = nullptr` parameter");
+      }
+    }
+  }
+}
+
+void rule_wall_clock(const Ctx& ctx) {
+  static const std::regex kClock(
+      R"(\b(system_clock|steady_clock|high_resolution_clock|clock_gettime|gettimeofday)\b)");
+  flag_lines(ctx, kClock, "no-wall-clock",
+             "wall clock in library code; simulators are cycle-based and "
+             "deterministic, timing belongs in bench/");
+  static const std::regex kChrono(R"(\bchrono\b)");
+  flag_lines(ctx, kChrono, "wall-clock-outside-obs",
+             "std::chrono outside src/obs/; engines count cycles -- only "
+             "the telemetry layer may touch time");
+}
+
+void rule_bare_assert(const Ctx& ctx) {
+  static const std::regex kAssert(R"(\bassert\s*\()");
+  flag_lines(ctx, kAssert, "no-bare-assert",
+             "bare assert(); use HBNET_CHECK (always on) or HBNET_DCHECK "
+             "(checked builds) from check/check.hpp");
+}
+
+void rule_trace_macro_only(const Ctx& ctx) {
+  static const std::regex kRecorder(R"(\bTraceRecorder\b)");
+  flag_lines(ctx, kRecorder, "trace-macro-only",
+             "direct TraceRecorder use in library code; emit through "
+             "the HBNET_TRACE_* macros so -DHBNET_TRACE=OFF compiles "
+             "the site out");
+  static const std::regex kTraceCall(R"((\.|->)\s*trace\s*\(\s*\))");
+  flag_lines(ctx, kTraceCall, "trace-macro-only",
+             "direct Sink::trace() call in library code; emit through "
+             "the HBNET_TRACE_* macros");
+}
+
+// ---------------------------------------------------------------------------
+// layering: the subsystem DAG, from the include graph.
+//
+//   tier 0: obs, par, check        (leaf utilities; no upward includes)
+//   tier 1: core, graph, topology  (domain: Cayley graphs, HB structure)
+//   tier 2: sim, analysis, campaign, distsim (engines and orchestration)
+//
+// A src/ file may include headers of its own tier or lower, never higher.
+// ---------------------------------------------------------------------------
+
+int subsystem_tier(const std::string& sub) {
+  static const std::map<std::string, int> kTier = {
+      {"obs", 0},  {"par", 0},      {"check", 0},
+      {"core", 1}, {"graph", 1},    {"topology", 1},
+      {"sim", 2},  {"analysis", 2}, {"campaign", 2},
+      {"distsim", 2}};
+  const auto it = kTier.find(sub);
+  return it == kTier.end() ? -1 : it->second;
+}
+
+void rule_layering(const Ctx& ctx) {
+  const int my_tier = subsystem_tier(ctx.fi->subsystem);
+  if (my_tier < 0) return;  // not under a known src/ subsystem
+  for (const IncludeEdge& inc : ctx.fi->includes) {
+    const std::size_t slash = inc.target.find('/');
+    if (slash == npos) continue;
+    const std::string target_sub = inc.target.substr(0, slash);
+    const int target_tier = subsystem_tier(target_sub);
+    if (target_tier < 0) continue;
+    if (target_tier > my_tier) {
+      ctx.report(inc.line, "layering",
+                 "src/" + ctx.fi->subsystem + " (tier " +
+                     std::to_string(my_tier) + ") must not include \"" +
+                     inc.target + "\" (tier " +
+                     std::to_string(target_tier) +
+                     "); the subsystem DAG is obs/par/check -> "
+                     "core/graph/topology -> sim/analysis/campaign/distsim");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel-capture: mutable by-reference captures in lambdas handed to
+// par::parallel_for / parallel_for_chunks / parallel_reduce.
+//
+// The determinism contract allows a parallel body to update shared state
+// only through order-independent primitives: atomics, per-worker or
+// per-index disjoint slots, or the sync::Exchange. A plain `[&]` capture
+// written without one of those is exactly the iteration-order bug class
+// the contract forbids.
+// ---------------------------------------------------------------------------
+
+struct Lambda {
+  bool default_ref = false;
+  bool default_copy = false;
+  std::vector<std::string> ref_captures;
+  std::vector<std::string> params;
+  std::size_t body_begin = 0, body_end = 0;
+};
+
+/// Parses the lambda whose '[' is at `pos`; returns false when `pos` does
+/// not start a lambda we can parse.
+bool parse_lambda(const std::string& text, std::size_t pos, Lambda& out) {
+  const std::size_t cap_end = lex::match_forward(text, pos, '[', ']');
+  if (cap_end == npos) return false;
+  // Capture items, top-level comma split.
+  std::size_t item = pos + 1;
+  while (item < cap_end) {
+    std::size_t end = item;
+    int depth = 0;
+    while (end < cap_end) {
+      const char c = text[end];
+      if (c == '(' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == '}' || c == '>') --depth;
+      if (c == ',' && depth == 0) break;
+      ++end;
+    }
+    std::string tok = text.substr(item, end - item);
+    const auto strip = [](std::string s) {
+      const auto b = s.find_first_not_of(" \t\n");
+      const auto e = s.find_last_not_of(" \t\n");
+      return b == npos ? std::string() : s.substr(b, e - b + 1);
+    };
+    tok = strip(tok);
+    if (tok == "&") {
+      out.default_ref = true;
+    } else if (tok == "=") {
+      out.default_copy = true;
+    } else if (!tok.empty() && tok[0] == '&') {
+      std::string name = strip(tok.substr(1));
+      const std::size_t eq = name.find('=');  // init capture &x = expr
+      if (eq != npos) name = strip(name.substr(0, eq));
+      if (!name.empty()) out.ref_captures.push_back(name);
+    }
+    item = end + 1;
+  }
+  // Optional parameter list.
+  std::size_t p = lex::next_nonspace(text, cap_end + 1);
+  if (p != npos && text[p] == '(') {
+    const std::size_t close = lex::match_forward(text, p, '(', ')');
+    if (close == npos) return false;
+    std::size_t seg = p + 1;
+    while (seg < close) {
+      std::size_t end = seg;
+      int depth = 0;
+      while (end < close) {
+        const char c = text[end];
+        if (c == '(' || c == '{' || c == '<' || c == '[') ++depth;
+        if (c == ')' || c == '}' || c == '>' || c == ']') --depth;
+        if (c == ',' && depth == 0) break;
+        ++end;
+      }
+      // Parameter name: last identifier before any '=' default.
+      std::string segment = text.substr(seg, end - seg);
+      const std::size_t eq = segment.find('=');
+      if (eq != npos) segment = segment.substr(0, eq);
+      const auto toks = lex::identifiers(segment, 0, segment.size());
+      if (!toks.empty()) out.params.push_back(toks.back().text);
+      seg = end + 1;
+    }
+    p = lex::next_nonspace(text, close + 1);
+  }
+  // Skip specifiers (mutable, noexcept, -> ret) to the body brace.
+  while (p != npos && p < text.size() && text[p] != '{') {
+    if (text[p] == ';' || text[p] == ')') return false;
+    ++p;
+    p = lex::next_nonspace(text, p);
+  }
+  if (p == npos || p >= text.size()) return false;
+  const std::size_t body_end = lex::match_forward(text, p, '{', '}');
+  if (body_end == npos) return false;
+  out.body_begin = p + 1;
+  out.body_end = body_end;
+  return true;
+}
+
+bool is_decl_ban_word(const std::string& w) {
+  static const char* const kBan[] = {
+      "return", "co_return", "goto",   "case",   "throw",  "new",
+      "delete", "else",      "sizeof", "typename", "using", "namespace",
+      "co_yield", "co_await", "in",    "not",    "and",    "or"};
+  for (const char* b : kBan) {
+    if (w == b) return true;
+  }
+  return false;
+}
+
+/// From the ',' at `pos`, adds the remaining declarators of a
+/// multi-declarator statement (`std::vector<N> a, b, c;`): identifier
+/// after each top-level comma, skipping initializers, until ';'.
+void add_chained_declarators(const std::string& text, std::size_t pos,
+                             std::size_t end,
+                             std::set<std::string>* locals) {
+  while (pos < end && text[pos] == ',') {
+    const std::size_t id = lex::next_nonspace(text, pos + 1);
+    if (id == npos || id >= end || !lex::is_word(text[id]) ||
+        std::isdigit(static_cast<unsigned char>(text[id]))) {
+      return;
+    }
+    std::size_t ie = id;
+    while (ie < end && lex::is_word(text[ie])) ++ie;
+    locals->insert(text.substr(id, ie - id));
+    // Skip the initializer (if any) to the next top-level ',' or the ';'.
+    int depth = 0;
+    std::size_t p = ie;
+    while (p < end) {
+      const char c = text[p];
+      if (c == '(' || c == '{' || c == '[' || c == '<') ++depth;
+      if (c == ')' || c == '}' || c == ']' || c == '>') --depth;
+      if (depth == 0 && (c == ',' || c == ';')) break;
+      ++p;
+    }
+    if (p >= end || text[p] == ';') return;
+    pos = p;
+  }
+}
+
+/// Names declared inside [begin, end): token-pair heuristic (previous
+/// non-space char belongs to a type-ish token, next non-space char ends a
+/// declarator), multi-declarator chains, plus structured bindings.
+std::set<std::string> declared_locals(const std::string& text,
+                                      std::size_t begin, std::size_t end) {
+  std::set<std::string> locals;
+  for (const lex::Token& t : lex::identifiers(text, begin, end)) {
+    const std::size_t prev = lex::prev_nonspace(text, t.pos);
+    if (prev == npos || prev < begin) continue;
+    const char pc = text[prev];
+    const bool type_ish =
+        lex::is_word(pc) || pc == '>' || pc == '*' ||
+        (pc == '&' && !(prev > begin && text[prev - 1] == '&'));
+    if (!type_ish) continue;
+    if (lex::is_word(pc)) {
+      const std::string prev_word = lex::word_ending_at(text, prev + 1);
+      if (is_decl_ban_word(prev_word)) continue;
+    }
+    const std::size_t after = t.pos + t.text.size();
+    const std::size_t nx = lex::next_nonspace(text, after);
+    if (nx == npos) continue;
+    const char nc = text[nx];
+    const bool ender =
+        nc == ';' || nc == ',' || nc == ')' || nc == ':' || nc == '{' ||
+        nc == '(' || nc == '[' ||
+        (nc == '=' && (nx + 1 >= text.size() || text[nx + 1] != '='));
+    if (!ender) continue;
+    locals.insert(t.text);
+    // `std::vector<N> frontier, fringe;` declares fringe too; same when the
+    // first declarator carries an initializer.
+    if (nc == ',') {
+      add_chained_declarators(text, nx, end, &locals);
+    } else if (nc == '=') {
+      int depth = 0;
+      std::size_t p = nx;
+      while (p < end) {
+        const char c = text[p];
+        if (c == '(' || c == '{' || c == '[' || c == '<') ++depth;
+        if (c == ')' || c == '}' || c == ']' || c == '>') --depth;
+        if (depth == 0 && (c == ',' || c == ';')) break;
+        ++p;
+      }
+      if (p < end && text[p] == ',') {
+        add_chained_declarators(text, p, end, &locals);
+      }
+    }
+  }
+  // Structured bindings: auto [a, b] = / auto& [k, v] :
+  static const std::regex kBinding(R"(\bauto\s*&{0,2}\s*\[([^\]]*)\])");
+  const std::string body = text.substr(begin, end - begin);
+  auto it = std::sregex_iterator(body.begin(), body.end(), kBinding);
+  for (; it != std::sregex_iterator(); ++it) {
+    const std::string inner = (*it)[1].str();
+    for (const lex::Token& t : lex::identifiers(inner, 0, inner.size())) {
+      locals.insert(t.text);
+    }
+  }
+  return locals;
+}
+
+const char* const kMutatingMembers[] = {
+    "push_back", "emplace_back", "push", "push_front", "emplace",
+    "emplace_front", "pop", "pop_back", "pop_front", "insert", "erase",
+    "clear", "resize", "reserve", "assign", "append", "swap", "merge",
+    "store", "bump"};
+
+bool is_mutating_member(const std::string& m) {
+  for (const char* k : kMutatingMembers) {
+    if (m == k) return true;
+  }
+  return false;
+}
+
+/// Classifies the use of the identifier token at `t` inside blanked text:
+/// returns true when it is written (assigned, compound-assigned,
+/// incremented, or mutated through a member call), filling `subscripts`
+/// with the text of any [..] indices between the name and the mutation.
+bool is_write_site(const std::string& text, const lex::Token& t,
+                   std::vector<std::string>* subscripts) {
+  bool pre_incremented = false;
+  const std::size_t prev = lex::prev_nonspace(text, t.pos);
+  if (prev != npos) {
+    const char pc = text[prev];
+    if (pc == '.' || pc == '>' || pc == ':' || pc == '~') return false;
+    // Pre-increment / pre-decrement (applies through any subscript chain,
+    // so keep collecting the indices before returning).
+    pre_incremented = (pc == '+' && prev > 0 && text[prev - 1] == '+') ||
+                      (pc == '-' && prev > 0 && text[prev - 1] == '-');
+  }
+  std::size_t p = t.pos + t.text.size();
+  // Swallow subscript and subscripted-member chains: name[i].field[j]...
+  // (a plain member access with no following subscript is left for the
+  // mutating-member-call check below).
+  while (true) {
+    const std::size_t nx = lex::next_nonspace(text, p);
+    if (nx == npos) break;
+    if (text[nx] == '.') {
+      const std::size_t ms = lex::next_nonspace(text, nx + 1);
+      if (ms == npos || !lex::is_word(text[ms])) break;
+      std::size_t me = ms;
+      while (me < text.size() && lex::is_word(text[me])) ++me;
+      const std::size_t after = lex::next_nonspace(text, me);
+      if (after == npos || text[after] != '[') break;
+      p = me;
+      continue;
+    }
+    if (text[nx] != '[') break;
+    const std::size_t close = lex::match_forward(text, nx, '[', ']');
+    if (close == npos) return false;
+    if (subscripts != nullptr) {
+      subscripts->push_back(text.substr(nx + 1, close - nx - 1));
+    }
+    p = close + 1;
+  }
+  if (pre_incremented) return true;
+  const std::size_t nx = lex::next_nonspace(text, p);
+  if (nx == npos) return false;
+  const char c = text[nx];
+  const char c1 = nx + 1 < text.size() ? text[nx + 1] : '\0';
+  const char c2 = nx + 2 < text.size() ? text[nx + 2] : '\0';
+  if (c == '=' && c1 != '=') return true;
+  if ((c == '+' && c1 == '+') || (c == '-' && c1 == '-')) return true;
+  if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+       c == '^') &&
+      c1 == '=') {
+    return true;
+  }
+  if ((c == '&' && c1 == '=') || (c == '|' && c1 == '=')) return true;
+  if ((c == '<' && c1 == '<' && c2 == '=') ||
+      (c == '>' && c1 == '>' && c2 == '=')) {
+    return true;
+  }
+  if (c == '.' || (c == '-' && c1 == '>')) {
+    const std::size_t mstart = c == '.' ? nx + 1 : nx + 2;
+    const std::size_t ms = lex::next_nonspace(text, mstart);
+    if (ms == npos || !lex::is_word(text[ms])) return false;
+    std::size_t me = ms;
+    while (me < text.size() && lex::is_word(text[me])) ++me;
+    const std::string member = text.substr(ms, me - ms);
+    const std::size_t paren = lex::next_nonspace(text, me);
+    if (paren != npos && text[paren] == '(' && is_mutating_member(member)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when `name`'s declaration (searched line-wise across the file)
+/// mentions one of the order-independent shared-state types.
+bool has_sanctioned_type(const FileIndex& fi, const std::string& name) {
+  static const char* const kSanctioned[] = {
+      "atomic", "mutex", "Exchange", "Slot", "ProgressBoard",
+      "FlightRecorder", "condition_variable", "once_flag", "ThreadPool"};
+  for (const std::string& line : fi.lines) {
+    std::size_t at = line.find(name);
+    bool hit = false;
+    while (at != npos) {
+      const bool left_ok = at == 0 || !lex::is_word(line[at - 1]);
+      const std::size_t after = at + name.size();
+      const bool right_ok = after >= line.size() || !lex::is_word(line[after]);
+      if (left_ok && right_ok) {
+        hit = true;
+        break;
+      }
+      at = line.find(name, at + 1);
+    }
+    if (!hit) continue;
+    for (const char* s : kSanctioned) {
+      if (line.find(s) != npos) return true;
+    }
+  }
+  return false;
+}
+
+void rule_parallel_capture(const Ctx& ctx) {
+  if (ctx.fi->subsystem == "par") return;  // the pool implements the API
+  const std::string& text = ctx.fi->blanked;
+  static const std::regex kCall(
+      R"(\b(parallel_for_chunks|parallel_for|parallel_reduce)\s*\()");
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kCall);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t close = lex::match_forward(text, open, '(', ')');
+    if (close == npos) continue;
+    // Every lambda literal that is a DIRECT argument of the call: preceded
+    // by '(' or ',' at paren depth 1. Lambdas nested deeper (an argument to
+    // some call made inside the body) answer to their own enclosing
+    // contract, not this one.
+    std::vector<std::size_t> lambda_starts;
+    {
+      int depth = 0;
+      for (std::size_t p = open; p < close; ++p) {
+        const char c = text[p];
+        if (c == '(' || c == '{') ++depth;
+        if (c == ')' || c == '}') --depth;
+        if (c == '[' && depth == 1) {
+          const std::size_t prev = lex::prev_nonspace(text, p);
+          if (prev != npos && (text[prev] == '(' || text[prev] == ',')) {
+            lambda_starts.push_back(p);
+          }
+        }
+      }
+    }
+    for (const std::size_t b : lambda_starts) {
+      Lambda lam;
+      if (!parse_lambda(text, b, lam)) continue;
+      if (!lam.default_ref && lam.ref_captures.empty()) continue;
+      const std::set<std::string> locals =
+          declared_locals(text, lam.body_begin, lam.body_end);
+      std::set<std::string> reported;
+      for (const lex::Token& t :
+           lex::identifiers(text, lam.body_begin, lam.body_end)) {
+        if (reported.count(t.text) != 0) continue;
+        if (locals.count(t.text) != 0) continue;
+        if (std::find(lam.params.begin(), lam.params.end(), t.text) !=
+            lam.params.end()) {
+          continue;
+        }
+        const bool captured_by_ref =
+            std::find(lam.ref_captures.begin(), lam.ref_captures.end(),
+                      t.text) != lam.ref_captures.end() ||
+            (lam.default_ref &&
+             std::find(lam.params.begin(), lam.params.end(), t.text) ==
+                 lam.params.end());
+        if (!captured_by_ref) continue;
+        std::vector<std::string> subscripts;
+        if (!is_write_site(text, t, &subscripts)) continue;
+        // Disjoint-slot writes: any index derived from the lambda's own
+        // parameters or locals keeps workers on disjoint data.
+        bool indexed_locally = false;
+        for (const std::string& sub : subscripts) {
+          for (const lex::Token& st :
+               lex::identifiers(sub, 0, sub.size())) {
+            if (locals.count(st.text) != 0 ||
+                std::find(lam.params.begin(), lam.params.end(), st.text) !=
+                    lam.params.end()) {
+              indexed_locally = true;
+            }
+          }
+        }
+        if (indexed_locally) continue;
+        if (has_sanctioned_type(*ctx.fi, t.text)) continue;
+        reported.insert(t.text);
+        ctx.report_at(
+            t.pos, "parallel-capture",
+            "lambda passed to par::parallel_for*/parallel_reduce mutates "
+            "by-reference capture '" +
+                t.text +
+                "' from concurrent workers; the determinism contract "
+                "allows only atomics, per-worker/per-index disjoint slots, "
+                "or sync::Exchange pushes");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// signature-contract: observer parameters (obs::Sink*, obs::ProgressBoard*)
+// agree between header declarations and .cpp definitions, and defaults
+// live only in headers. The cross-file half lives in run_tree_rules.
+// ---------------------------------------------------------------------------
+
+void rule_signature_contract_file(const Ctx& ctx) {
+  for (const ObserverSig& sig : ctx.fi->observer_sigs) {
+    if (ctx.fi->is_header) {
+      for (const ObserverParam& p : sig.observers) {
+        if (p.kind == ObserverKind::kProgressBoard && !p.has_default) {
+          ctx.report_at(p.pos, "signature-contract",
+                        "obs::ProgressBoard* parameter of '" + sig.name +
+                            "' in a header must default to nullptr "
+                            "(progress surfaces are opt-in observers)");
+        }
+      }
+    } else {
+      for (const ObserverParam& p : sig.observers) {
+        if (p.has_default) {
+          ctx.report_at(p.pos, "signature-contract",
+                        "observer parameter of '" + sig.name +
+                            "' carries a default in a .cpp; defaults "
+                            "belong in the header declaration only");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// emission-order: extends unordered-iteration one call level. A loop over
+// an unordered container (range-for or explicit .begin() iterator loop)
+// whose body writes to a file/stream -- directly or by calling a function
+// that does -- emits bytes in hash order.
+// ---------------------------------------------------------------------------
+
+/// True when [begin, end) calls a function from `writers`.
+bool calls_stream_writer(const Ctx& ctx, std::size_t begin,
+                         std::size_t end) {
+  const std::string& text = ctx.fi->blanked;
+  for (const lex::Token& t : lex::identifiers(text, begin, end)) {
+    const std::size_t nx = lex::next_nonspace(text, t.pos + t.text.size());
+    if (nx == npos || text[nx] != '(') continue;
+    if (ctx.repo != nullptr) {
+      if (ctx.repo->stream_writers.count(t.text) != 0) return true;
+    } else if (std::binary_search(ctx.fi->stream_writers.begin(),
+                                  ctx.fi->stream_writers.end(), t.text)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void rule_emission_order(const Ctx& ctx) {
+  const std::string& text = ctx.fi->blanked;
+  for (const std::string& name : ctx.fi->unordered_names) {
+    // Both loop shapes over the container; the iterator form is invisible
+    // to the plain unordered-iteration rule.
+    const std::regex loops(
+        R"(for\s*\(([^()]|\([^()]*\))*(:\s*\*?)" + name +
+        R"(\s*\)|[^()]*\b)" + name + R"(\s*\.\s*c?begin\s*\(\s*\)))");
+    auto it = std::sregex_iterator(text.begin(), text.end(), loops);
+    for (; it != std::sregex_iterator(); ++it) {
+      const std::size_t for_pos = static_cast<std::size_t>(it->position());
+      const std::size_t open = text.find('(', for_pos);
+      if (open == npos) continue;
+      const std::size_t close = lex::match_forward(text, open, '(', ')');
+      if (close == npos) continue;
+      std::size_t body_begin = 0, body_end = 0;
+      const std::size_t nx = lex::next_nonspace(text, close + 1);
+      if (nx == npos) continue;
+      if (text[nx] == '{') {
+        const std::size_t bend = lex::match_forward(text, nx, '{', '}');
+        if (bend == npos) continue;
+        body_begin = nx + 1;
+        body_end = bend;
+      } else {
+        body_begin = nx;
+        body_end = std::min(text.size(), text.find(';', nx));
+      }
+      if (region_writes_stream(*ctx.fi, body_begin, body_end) ||
+          calls_stream_writer(ctx, body_begin, body_end)) {
+        ctx.report_at(for_pos, "emission-order",
+                      "file/stream write reachable from a loop over "
+                      "unordered container '" +
+                          name +
+                          "' emits bytes in hash order; extract into a "
+                          "vector and sort before writing");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// exchange-invariant: in src/sim, every cross-shard packet move goes
+// through sync::Exchange::push. Writing directly into a structure indexed
+// by shard_of(...) races with the owning worker and -- even when it
+// happens to be safe -- bypasses the ascending-sender delivery order that
+// keeps results byte-identical across shard counts.
+// ---------------------------------------------------------------------------
+
+void rule_exchange_invariant(const Ctx& ctx) {
+  if (ctx.fi->subsystem != "sim") return;
+  const std::string& text = ctx.fi->blanked;
+  static const std::regex kShardIndex(
+      R"((\w+)\s*\[[^\][]*\bshard_of\b[^\]]*\])");
+  auto it = std::sregex_iterator(text.begin(), text.end(), kShardIndex);
+  for (; it != std::sregex_iterator(); ++it) {
+    const std::string base = (*it)[1].str();
+    if (has_sanctioned_type(*ctx.fi, base) &&
+        !base.empty()) {  // Exchange cells are the sanctioned path
+      continue;
+    }
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    // (a) Mutation directly through the subscript.
+    lex::Token t{base, pos};
+    if (is_write_site(text, t, nullptr)) {
+      ctx.report_at(pos, "exchange-invariant",
+                    "direct write into '" + base +
+                        "[shard_of(...)]' bypasses the sync::Exchange; "
+                        "push through the exchange so delivery stays in "
+                        "canonical ascending-sender order");
+      continue;
+    }
+    // (b) Binding a mutable reference to another shard's state.
+    const std::size_t prev = lex::prev_nonspace(text, pos);
+    if (prev != npos && text[prev] == '=') {
+      const std::size_t lhs_end = lex::prev_nonspace(text, prev);
+      if (lhs_end != npos && lex::is_word(text[lhs_end])) {
+        std::size_t lhs_begin = 0;
+        (void)lex::word_ending_at(text, lhs_end + 1, &lhs_begin);
+        const std::size_t amp = lex::prev_nonspace(text, lhs_begin);
+        if (amp != npos && text[amp] == '&') {
+          const std::size_t decl_start =
+              text.rfind('\n', amp) == npos ? 0 : text.rfind('\n', amp);
+          const std::string decl =
+              text.substr(decl_start, amp - decl_start);
+          if (decl.find("const") == npos) {
+            ctx.report_at(pos, "exchange-invariant",
+                          "mutable reference bound to '" + base +
+                              "[shard_of(...)]' aliases another shard's "
+                              "state; cross-shard moves must go through "
+                              "sync::Exchange::push");
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Catalogue and drivers.
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"no-rand",
+     "std::rand/srand are banned; use a std::mt19937_64 seeded from config"},
+    {"no-time-seed",
+     "time() is banned (wall-clock seeds break run-to-run determinism)"},
+    {"no-random-device",
+     "std::random_device is banned outside explicitly suppressed seeded-RNG "
+     "construction sites"},
+    {"no-wall-clock",
+     "wall clocks (system/steady/high_resolution_clock, clock_gettime, ...) "
+     "are banned in library code; simulators count cycles, benches use the "
+     "benchmark framework"},
+    {"wall-clock-outside-obs",
+     "std::chrono is confined to src/obs/ (the telemetry layer timestamps "
+     "snapshots); every other library file is cycle-based and "
+     "deterministic"},
+    {"unordered-iteration",
+     "no range-for over unordered_map/unordered_set; extract keys, sort, "
+     "then iterate"},
+    {"sink-default",
+     "simulator/broadcast entry points keep a trailing obs::Sink* = nullptr "
+     "parameter, and every header Sink* parameter is defaulted"},
+    {"trace-macro-only",
+     "hot paths emit traces via HBNET_TRACE_* macros only, never by calling "
+     "the TraceRecorder directly"},
+    {"no-raw-new",
+     "no raw new/delete; use containers or std::make_unique"},
+    {"no-bare-assert",
+     "no bare assert() in src/; use HBNET_CHECK / HBNET_DCHECK "
+     "(check/check.hpp)"},
+    {"parallel-capture",
+     "lambdas passed to par::parallel_for*/parallel_reduce must not mutate "
+     "by-reference captures except atomics, per-worker/per-index disjoint "
+     "slots, or sync::Exchange pushes"},
+    {"layering",
+     "the subsystem include DAG is obs/par/check -> core/graph/topology -> "
+     "sim/analysis/campaign/distsim; a src/ file never includes a higher "
+     "tier"},
+    {"signature-contract",
+     "observer parameters (obs::Sink*, obs::ProgressBoard*) match between "
+     "header declaration and .cpp definition, with defaults only in "
+     "headers"},
+    {"emission-order",
+     "no file/stream write reachable (within one call) from a loop over an "
+     "unordered container; extract and sort first"},
+    {"exchange-invariant",
+     "in src/sim, cross-shard arena/frontier writes must go through the "
+     "sync::Exchange primitives (canonical ascending-sender delivery)"},
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+void run_file_rules(const FileIndex& fi, const RepoIndex* repo,
+                    std::vector<Diagnostic>& out) {
+  Ctx ctx;
+  ctx.fi = &fi;
+  ctx.repo = repo;
+  ctx.out = &out;
+
+  rule_banned_sources(ctx);
+  rule_no_raw_new(ctx);
+  rule_unordered_iteration(ctx);
+
+  if (fi.scope == Scope::kLibrary || fi.scope == Scope::kTools) {
+    rule_parallel_capture(ctx);
+    rule_emission_order(ctx);
+  }
+
+  if (fi.scope == Scope::kLibrary) {
+    // The obs/ telemetry layer is the one library component allowed to read
+    // clocks (snapshot timestamps, exporter cadence); everywhere else both
+    // the clock types and <chrono> itself are banned.
+    if (!fi.in_obs) {
+      rule_wall_clock(ctx);
+      rule_trace_macro_only(ctx);
+    }
+    rule_bare_assert(ctx);
+    rule_layering(ctx);
+    rule_signature_contract_file(ctx);
+    rule_exchange_invariant(ctx);
+    if (fi.is_header) rule_sink_default(ctx);
+  }
+}
+
+void run_tree_rules(const RepoIndex& repo, std::vector<Diagnostic>& out) {
+  // signature-contract, cross-file half: every .cpp definition that carries
+  // observer parameters must match some header declaration of the same
+  // name (same observer kinds, same order). Internal helpers that never
+  // appear in a header are exempt.
+  for (const FileIndex& fi : repo.files) {
+    if (fi.is_header || fi.scope != Scope::kLibrary) continue;
+    for (const ObserverSig& sig : fi.observer_sigs) {
+      if (!sig.is_definition) continue;
+      const auto it = repo.header_sigs.find(sig.name);
+      if (it == repo.header_sigs.end()) continue;
+      std::vector<ObserverKind> kinds;
+      kinds.reserve(sig.observers.size());
+      for (const ObserverParam& p : sig.observers) kinds.push_back(p.kind);
+      if (std::find(it->second.begin(), it->second.end(), kinds) ==
+          it->second.end()) {
+        out.push_back(
+            {fi.path, sig.line, "signature-contract",
+             "definition of '" + sig.name +
+                 "' has observer parameters (Sink*/ProgressBoard*) that "
+                 "match no header declaration of that name; keep the "
+                 ".hpp and .cpp signatures in sync"});
+      }
+    }
+  }
+}
+
+}  // namespace hblint

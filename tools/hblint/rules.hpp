@@ -1,0 +1,24 @@
+// hblint rule engine: the catalogue, the per-file pass, and the cross-file
+// pass. Rules read the symbol tables built by index.hpp; nothing here does
+// its own lexing beyond small regexes over blanked text.
+#pragma once
+
+#include <vector>
+
+#include "hblint/hblint.hpp"
+#include "hblint/index.hpp"
+
+namespace hblint {
+
+/// Runs every per-file rule over one indexed file, appending diagnostics.
+/// `repo` supplies cross-file lookups that sharpen per-file rules (the
+/// repo-wide stream-writer set for emission-order); pass nullptr when
+/// linting a single file in isolation.
+void run_file_rules(const FileIndex& fi, const RepoIndex* repo,
+                    std::vector<Diagnostic>& out);
+
+/// Runs the rules that only make sense across files: signature-contract
+/// matching of header declarations against .cpp definitions.
+void run_tree_rules(const RepoIndex& repo, std::vector<Diagnostic>& out);
+
+}  // namespace hblint
