@@ -5,9 +5,12 @@
 #include <iostream>
 
 #include "core/hyper_butterfly.hpp"
+#include "graph/builder.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/connectivity_sweep.hpp"
+#include "graph/sparsify.hpp"
 #include "topology/butterfly.hpp"
+#include "topology/hb_implicit.hpp"
 #include "topology/hyper_debruijn.hpp"
 #include "topology/hypercube.hpp"
 
@@ -76,31 +79,102 @@ BENCHMARK(BM_VertexConnectivityThreads)
     ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond);
 
-/// The ConnectivitySweep engine on its fast path: single-source schedule
-/// (HB is a Cayley graph, hence vertex transitive), structural pruning, and
-/// per-worker flow-network reuse. Range is (m, threads); compare against
+/// The ConnectivitySweep engine on its fast path, driven exactly the way
+/// `hbnet_cli analyze --exact-connectivity` drives it: single-source
+/// schedule (HB is a Cayley graph, hence vertex transitive), cube-orbit
+/// target reduction, structural pruning, per-worker flow-network reuse.
+/// Range is (m, threads, sparsify); compare against
 /// BM_VertexConnectivityThreads for the source-set-reduction speedup.
+/// On HB sparsify is a byte-identity no-op (kappa = degree, so the
+/// certificate is the whole graph) -- the 0/1 pair at m=4 measures its
+/// overhead; the real arena win is BM_VertexConnectivitySparsifyDense.
 void BM_VertexConnectivityEvenTarjan(benchmark::State& state) {
-  hbnet::Graph g =
-      hbnet::HyperButterfly(static_cast<unsigned>(state.range(0)), 3)
-          .to_graph();
+  const auto m = static_cast<unsigned>(state.range(0));
+  const unsigned n = 3;
+  hbnet::Graph g = hbnet::HyperButterfly(m, n).to_graph();
   const auto threads = static_cast<unsigned>(state.range(1));
+  const bool sparsify = state.range(2) != 0;
   for (auto _ : state) {
     hbnet::SweepOptions opts;
     opts.threads = threads;
     opts.vertex_transitive = true;
+    opts.sparsify = sparsify;
+    opts.orbit_rep = [m, n](hbnet::NodeId v) {
+      return hbnet::hb_cube_orbit_representative(m, n, v);
+    };
     hbnet::ConnectivitySweep sweep(g, opts);
     benchmark::DoNotOptimize(sweep.run().kappa);
   }
 }
 BENCHMARK(BM_VertexConnectivityEvenTarjan)
-    ->Args({2, 1})
-    ->Args({2, 2})
-    ->Args({2, 4})
-    ->Args({3, 1})
-    ->Args({3, 2})
-    ->Args({3, 4})
-    ->ArgNames({"m", "threads"})
+    ->Args({2, 1, 0})
+    ->Args({2, 2, 0})
+    ->Args({2, 4, 0})
+    ->Args({3, 1, 0})
+    ->Args({3, 2, 0})
+    ->Args({3, 4, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 1, 1})
+    ->Args({4, 4, 1})
+    ->ArgNames({"m", "threads", "sparsify"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Implicit generator-arithmetic adjacency vs materialized CSR on the same
+/// sweep (HB(3,3), single thread): the price of computing each
+/// neighborhood on the fly instead of reading it from the CSR arrays.
+void BM_VertexConnectivityImplicit(benchmark::State& state) {
+  const unsigned m = 3, n = 3;
+  const bool implicit = state.range(0) != 0;
+  hbnet::Graph g = hbnet::HyperButterfly(m, n).to_graph();
+  hbnet::HbImplicitAdjacency imp(m, n);
+  hbnet::CsrAdjacency csr(g);
+  const hbnet::AdjacencyProvider& adj =
+      implicit ? static_cast<const hbnet::AdjacencyProvider&>(imp) : csr;
+  for (auto _ : state) {
+    hbnet::SweepOptions opts;
+    opts.threads = 1;
+    opts.vertex_transitive = true;
+    opts.orbit_rep = [m, n](hbnet::NodeId v) {
+      return hbnet::hb_cube_orbit_representative(m, n, v);
+    };
+    hbnet::ConnectivitySweep sweep(adj, opts);
+    benchmark::DoNotOptimize(sweep.run().kappa);
+  }
+}
+BENCHMARK(BM_VertexConnectivityImplicit)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"implicit"})
+    ->Unit(benchmark::kMillisecond);
+
+/// The regime Nagamochi-Ibaraki certificates exist for: kappa far below
+/// the minimum degree. Two K_48 cliques + 3 bridges + a degree-3 apex
+/// (kappa = 3, 2262 edges): with sparsify the per-worker Dinic arena is
+/// built from a <= 3(n-1)-edge certificate instead of the whole graph.
+void BM_VertexConnectivitySparsifyDense(benchmark::State& state) {
+  hbnet::GraphBuilder b(97);
+  for (hbnet::NodeId u = 0; u < 48; ++u) {
+    for (hbnet::NodeId v = u + 1; v < 48; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(u + 48, v + 48);
+    }
+  }
+  for (hbnet::NodeId i = 0; i < 3; ++i) b.add_edge(i, 48 + i);
+  for (hbnet::NodeId i = 0; i < 3; ++i) b.add_edge(96, i);
+  hbnet::Graph g = b.build();
+  const bool sparsify = state.range(0) != 0;
+  for (auto _ : state) {
+    hbnet::SweepOptions opts;
+    opts.threads = 1;
+    opts.sparsify = sparsify;
+    hbnet::ConnectivitySweep sweep(g, opts);
+    benchmark::DoNotOptimize(sweep.run().kappa);
+  }
+}
+BENCHMARK(BM_VertexConnectivitySparsifyDense)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"sparsify"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_EdgeConnectivityThreads(benchmark::State& state) {

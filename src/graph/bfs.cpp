@@ -10,8 +10,36 @@
 namespace hbnet {
 
 BfsResult bfs(const Graph& g, NodeId source) {
-  std::vector<char> no_faults(g.num_nodes(), 0);
-  return bfs_avoiding(g, source, no_faults);
+  const CsrAdjacency csr(g);
+  return bfs(csr, source);
+}
+
+BfsResult bfs(const AdjacencyProvider& adj, NodeId source) {
+  if (source >= adj.num_nodes()) {
+    throw std::out_of_range("bfs: source out of range");
+  }
+  BfsResult r;
+  r.dist.assign(adj.num_nodes(), kUnreachable);
+  r.parent.assign(adj.num_nodes(), kInvalidNode);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  NeighborScratch scratch(adj);
+  r.dist[source] = 0;
+  Dist d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : adj.neighbors(u, scratch.data())) {
+        if (r.dist[v] != kUnreachable) continue;
+        r.dist[v] = d;
+        r.parent[v] = u;
+        next.push_back(v);
+      }
+    }
+    frontier.swap(next);
+  }
+  return r;
 }
 
 BfsResult bfs_avoiding(const Graph& g, NodeId source,
@@ -103,8 +131,13 @@ Dist diameter_vertex_transitive(const Graph& g) {
 }
 
 bool is_connected(const Graph& g) {
-  if (g.num_nodes() == 0) return true;
-  BfsResult r = bfs(g, 0);
+  const CsrAdjacency csr(g);
+  return is_connected(csr);
+}
+
+bool is_connected(const AdjacencyProvider& adj) {
+  if (adj.num_nodes() == 0) return true;
+  BfsResult r = bfs(adj, 0);
   return std::none_of(r.dist.begin(), r.dist.end(),
                       [](Dist d) { return d == kUnreachable; });
 }

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/adjacency.hpp"
 #include "graph/graph.hpp"
 
 namespace hbnet {
@@ -24,6 +25,11 @@ struct BfsResult {
 
 /// Full single-source BFS from `source`.
 [[nodiscard]] BfsResult bfs(const Graph& g, NodeId source);
+
+/// Provider-generic single-source BFS: identical result to the CSR variant
+/// (neighbors are visited in the same sorted order), usable on implicit
+/// topologies without materializing them.
+[[nodiscard]] BfsResult bfs(const AdjacencyProvider& adj, NodeId source);
 
 /// BFS that ignores vertices marked faulty (faulty[v] == true). The source
 /// must not be faulty.
@@ -55,6 +61,9 @@ struct BfsResult {
 
 /// True iff the graph is connected (n==0 counts as connected).
 [[nodiscard]] bool is_connected(const Graph& g);
+
+/// Provider-generic connectivity check.
+[[nodiscard]] bool is_connected(const AdjacencyProvider& adj);
 
 /// True iff the graph stays connected after removing `removed` vertices.
 [[nodiscard]] bool is_connected_after_removal(const Graph& g,

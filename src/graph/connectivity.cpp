@@ -10,6 +10,7 @@
 #include "graph/validate.hpp"
 #include "graph/connectivity_sweep.hpp"
 #include "graph/maxflow.hpp"
+#include "graph/sparsify.hpp"
 #include "par/pool.hpp"
 
 namespace hbnet {
@@ -36,10 +37,16 @@ std::uint32_t max_disjoint_paths(const Graph& g, NodeId s, NodeId t) {
 }
 
 std::uint32_t vertex_connectivity(const Graph& g, unsigned threads) {
+  const CsrAdjacency csr(g);
+  return vertex_connectivity(csr, threads);
+}
+
+std::uint32_t vertex_connectivity(const AdjacencyProvider& adj,
+                                  unsigned threads) {
   // The Even-Tarjan engine (graph/connectivity_sweep.hpp): source-set
   // reduction to kappa+1 sources, structural pruning, per-worker network
   // reuse. Exact for every graph and identical for every thread count.
-  return vertex_connectivity_even_tarjan(g, threads);
+  return vertex_connectivity_even_tarjan(adj, threads);
 }
 
 bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
@@ -86,22 +93,39 @@ bool check_local_connectivity_sampled(const Graph& g, std::uint32_t target,
 
 std::uint32_t edge_connectivity(const Graph& g, unsigned threads) {
   HBNET_DCHECK_OK(check::validate(g));
-  const NodeId n = g.num_nodes();
+  const CsrAdjacency csr(g);
+  return edge_connectivity(csr, threads, false);
+}
+
+std::uint32_t edge_connectivity(const AdjacencyProvider& adj, unsigned threads,
+                                bool sparsify) {
+  const NodeId n = adj.num_nodes();
   if (n <= 1) return 0;
   // lambda(G) = min over t != 0 of max-flow(0, t) on the un-split network.
   // The network is identical for every target, so it is built exactly once
-  // and cleared with reset() between solves (one clone per worker).
+  // and cleared with undo_flow() between solves (one clone per worker).
+  // Every limit below is <= deg(0)+1, so flows on a (deg(0)+1)-certificate
+  // equal flows on the full graph and the sparsified run is byte-identical.
+  const std::uint32_t d0 = adj.degree(0);
+  SparseCertificate cert;
+  if (sparsify) cert = sparse_certificate(adj, d0 + 1);
+  const AdjacencyProvider* net_adj = &adj;
+  std::optional<CsrAdjacency> cert_view;
+  if (sparsify) net_adj = &cert_view.emplace(cert.graph);
   Dinic prototype(n);
-  prototype.reserve_arcs(2 * g.num_edges());
-  for (NodeId u = 0; u < n; ++u) {
-    for (NodeId v : g.neighbors(u)) {
-      if (u < v) {
-        prototype.add_arc(u, v, 1);
-        prototype.add_arc(v, u, 1);
+  prototype.reserve_arcs(2 * net_adj->num_edges());
+  {
+    NeighborScratch scratch(*net_adj);
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : net_adj->neighbors(u, scratch.data())) {
+        if (u < v) {
+          prototype.add_arc(u, v, 1);
+          prototype.add_arc(v, u, 1);
+        }
       }
     }
   }
-  std::atomic<std::uint32_t> lambda{g.degree(0)};
+  std::atomic<std::uint32_t> lambda{d0};
   par::ThreadPool pool(threads);
   std::vector<Dinic> nets(pool.size(), prototype);
   const std::uint64_t chunk =
@@ -116,7 +140,7 @@ std::uint32_t edge_connectivity(const Graph& g, unsigned threads) {
               static_cast<std::int64_t>(
                   lambda.load(std::memory_order_relaxed)) + 1;
           std::int64_t flow = dinic.max_flow(0, t, limit);
-          dinic.reset();
+          dinic.undo_flow();
           atomic_min(lambda, static_cast<std::uint32_t>(flow));
         }
       });

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/adjacency.hpp"
 #include "graph/graph.hpp"
 
 namespace hbnet {
@@ -33,6 +34,11 @@ namespace hbnet {
 [[nodiscard]] std::uint32_t vertex_connectivity(const Graph& g,
                                                 unsigned threads = 0);
 
+/// Provider-generic variant: same engine, any adjacency source (CSR view
+/// or an implicit topology such as HbImplicitAdjacency).
+[[nodiscard]] std::uint32_t vertex_connectivity(const AdjacencyProvider& adj,
+                                                unsigned threads = 0);
+
 /// Cheaper probabilistic lower-bound check: verifies that `target` disjoint
 /// paths exist between `pairs` randomly chosen vertex pairs. Returns true if
 /// all sampled pairs achieve at least `target` disjoint paths. The pair list
@@ -51,5 +57,13 @@ namespace hbnet {
 /// vertex_connectivity.
 [[nodiscard]] std::uint32_t edge_connectivity(const Graph& g,
                                               unsigned threads = 0);
+
+/// Provider-generic variant. With `sparsify`, every flow runs on one
+/// Nagamochi-Ibaraki certificate built once at k = deg(0) + 1 (lambda <=
+/// deg(0), and no solve's limit exceeds deg(0)+1, so all truncated flow
+/// values -- and therefore the result -- are identical with it on or off).
+[[nodiscard]] std::uint32_t edge_connectivity(const AdjacencyProvider& adj,
+                                              unsigned threads = 0,
+                                              bool sparsify = false);
 
 }  // namespace hbnet

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "graph/sparsify.hpp"
 #include "graph/validate.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -32,29 +33,29 @@ struct BlockTally {
   obs::Histogram flows;
 };
 
-void fnv_mix(std::uint64_t& h, std::uint64_t v) {
-  for (unsigned byte = 0; byte < 8; ++byte) {
-    h ^= (v >> (8 * byte)) & 0xffu;
-    h *= 1099511628211ull;
-  }
-}
-
 }  // namespace
 
 namespace detail {
 
-Dinic make_split_prototype(const Graph& g) {
-  Dinic dinic(2 * g.num_nodes());
-  dinic.reserve_arcs(g.num_nodes() + 2 * g.num_edges());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+Dinic make_split_prototype(const AdjacencyProvider& adj) {
+  const NodeId n = adj.num_nodes();
+  Dinic dinic(2 * n);
+  dinic.reserve_arcs(n + 2 * adj.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
     dinic.add_arc(2 * v, 2 * v + 1, 1);
   }
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId v : g.neighbors(u)) {
+  NeighborScratch scratch(adj);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : adj.neighbors(u, scratch.data())) {
       dinic.add_arc(2 * u + 1, 2 * v, 1);  // each direction added once
     }
   }
   return dinic;
+}
+
+Dinic make_split_prototype(const Graph& g) {
+  const CsrAdjacency csr(g);
+  return make_split_prototype(csr);
 }
 
 std::int64_t split_solve(Dinic& dinic, NodeId s, NodeId t,
@@ -64,14 +65,13 @@ std::int64_t split_solve(Dinic& dinic, NodeId s, NodeId t,
   std::int64_t flow = dinic.max_flow(2 * s + 1, 2 * t, limit);
   dinic.set_arc_capacity(2 * s, 1);
   dinic.set_arc_capacity(2 * t, 1);
-  dinic.reset();
+  dinic.undo_flow();
   return flow;
 }
 
-std::uint32_t common_neighbors_at_least(const Graph& g, NodeId s, NodeId t,
+std::uint32_t common_neighbors_at_least(std::span<const NodeId> a,
+                                        std::span<const NodeId> b,
                                         std::uint32_t cap) {
-  const std::span<const NodeId> a = g.neighbors(s);
-  const std::span<const NodeId> b = g.neighbors(t);
   std::uint32_t count = 0;
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
@@ -90,11 +90,11 @@ std::uint32_t common_neighbors_at_least(const Graph& g, NodeId s, NodeId t,
 }  // namespace detail
 
 std::uint64_t graph_fingerprint(const Graph& g) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
-  fnv_mix(h, g.num_nodes());
-  for (std::uint64_t o : g.row_offsets()) fnv_mix(h, o);
+  std::uint64_t h = detail::kFnv1aBasis;
+  detail::fnv1a_mix(h, g.num_nodes());
+  for (std::uint64_t o : g.row_offsets()) detail::fnv1a_mix(h, o);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    for (NodeId u : g.neighbors(v)) fnv_mix(h, u);
+    for (NodeId u : g.neighbors(v)) detail::fnv1a_mix(h, u);
   }
   return h;
 }
@@ -106,7 +106,9 @@ std::string serialize_checkpoint(const SweepState& st) {
   os << "hbnet-connectivity-checkpoint v" << st.version << '\n'
      << "graph nodes=" << st.num_nodes << " edges=" << st.num_edges
      << " fp=" << fp << '\n'
-     << "schedule " << (st.single_source ? "single-source" : "even-tarjan")
+     << "schedule "
+     << (st.orbit ? "single-source-orbits"
+                  : st.single_source ? "single-source" : "even-tarjan")
      << " block=" << st.block_size << '\n'
      << "progress stages=" << st.stages_done << " blocks=" << st.blocks_done
      << " bound=" << st.bound << '\n'
@@ -139,6 +141,9 @@ std::optional<SweepState> parse_checkpoint(const std::string& text) {
   const std::string sched = schedule;
   if (sched == "single-source") {
     st.single_source = true;
+  } else if (sched == "single-source-orbits") {
+    st.single_source = true;
+    st.orbit = true;
   } else if (sched != "even-tarjan") {
     return std::nullopt;
   }
@@ -187,27 +192,42 @@ std::optional<SweepState> load_checkpoint(const std::string& path) {
 }
 
 ConnectivitySweep::ConnectivitySweep(const Graph& g, SweepOptions opts)
-    : g_(g), opts_(std::move(opts)) {
-  HBNET_DCHECK_OK(check::validate(g_));
+    : owned_csr_(CsrAdjacency(g)), adj_(*owned_csr_), opts_(std::move(opts)) {
+  HBNET_DCHECK_OK(check::validate(g));
+  init();
+}
+
+ConnectivitySweep::ConnectivitySweep(const AdjacencyProvider& adj,
+                                     SweepOptions opts)
+    : adj_(adj), opts_(std::move(opts)) {
+  init();
+}
+
+void ConnectivitySweep::init() {
   if (opts_.block_size == 0) opts_.block_size = 256;
-  const NodeId n = g_.num_nodes();
+  if (opts_.orbit_rep && !opts_.vertex_transitive) {
+    throw std::invalid_argument(
+        "SweepOptions::orbit_rep requires vertex_transitive (the orbit "
+        "argument fixes the single scanned source)");
+  }
+  const NodeId n = adj_.num_nodes();
   state_.num_nodes = n;
-  state_.num_edges = g_.num_edges();
-  state_.fingerprint = graph_fingerprint(g_);
+  state_.num_edges = adj_.num_edges();
+  state_.fingerprint = adj_.fingerprint();
   state_.single_source = opts_.vertex_transitive;
+  state_.orbit = static_cast<bool>(opts_.orbit_rep);
   state_.block_size = opts_.block_size;
   if (n <= 1) {
     state_.complete = true;  // kappa of the empty/singleton graph is 0
     return;
   }
-  auto [min_deg, max_deg] = g_.degree_range();
-  (void)max_deg;
+  auto [min_deg, max_deg] = adj_.degree_range();
   state_.bound = min_deg;
   if (opts_.vertex_transitive) {
     // Regularity is a necessary condition for vertex transitivity; the
     // caller vouches for the rest (the single-source schedule is only exact
     // on vertex-transitive graphs).
-    HBNET_DCHECK_MSG(g_.is_regular(),
+    HBNET_DCHECK_MSG(min_deg == max_deg,
                      "single-source schedule on a non-regular graph");
   }
   // Deterministic schedule: all vertices, (degree, id) ascending. Low
@@ -217,15 +237,22 @@ ConnectivitySweep::ConnectivitySweep(const Graph& g, SweepOptions opts)
   std::iota(source_order_.begin(), source_order_.end(), NodeId{0});
   std::sort(source_order_.begin(), source_order_.end(),
             [&](NodeId a, NodeId b) {
-              return std::make_pair(g_.degree(a), a) <
-                     std::make_pair(g_.degree(b), b);
+              return std::make_pair(adj_.degree(a), a) <
+                     std::make_pair(adj_.degree(b), b);
             });
+  if (state_.orbit) {
+    HBNET_DCHECK_MSG(opts_.orbit_rep(source_order_[0]) == source_order_[0],
+                     "orbit_rep must fix the scanned source");
+  }
   if (!opts_.checkpoint_path.empty()) {
     if (std::optional<SweepState> loaded =
             load_checkpoint(opts_.checkpoint_path)) {
-      std::string err = check::validate(*loaded, g_);
+      std::string err = check::validate(*loaded, adj_);
       if (err.empty() && loaded->single_source != state_.single_source) {
         err = "checkpoint schedule mismatch (single-source vs even-tarjan)";
+      }
+      if (err.empty() && loaded->orbit != state_.orbit) {
+        err = "checkpoint schedule mismatch (orbit reduction)";
       }
       if (err.empty() && loaded->block_size != state_.block_size) {
         err = "checkpoint block size mismatch";
@@ -247,7 +274,7 @@ std::uint32_t ConnectivitySweep::sources_needed() const {
 }
 
 ExactConnectivityResult ConnectivitySweep::run() {
-  const NodeId n = g_.num_nodes();
+  const NodeId n = adj_.num_nodes();
   auto result_from_state = [&] {
     ExactConnectivityResult r;
     r.kappa = state_.bound;
@@ -291,12 +318,49 @@ ExactConnectivityResult ConnectivitySweep::run() {
   if (state_.complete) return result_from_state();
 
   par::ThreadPool pool(opts_.threads);
-  // One split network per worker for the entire run: the prototype is
-  // built once, cloned size() times, and every solve restores its clone
-  // with reset() -- no construction or allocation inside the sweep.
-  const Dinic prototype = detail::make_split_prototype(g_);
-  std::vector<Dinic> nets(pool.size(), prototype);
+  // Per-worker split networks. Without sparsification the prototype is
+  // built once from the full adjacency and cloned per pool worker; with it,
+  // the prototype is rebuilt from a fresh Nagamochi-Ibaraki certificate
+  // whenever the frozen block bound has dropped since the last build (the
+  // bound only decreases, and only at block boundaries, so rebuilds are
+  // rare and schedule-determined). Every solve restores its clone with
+  // Dinic::undo_flow() -- no construction or allocation inside a block.
+  std::vector<Dinic> nets;
+  std::optional<SparseCertificate> cert;
+  std::uint64_t arena_arcs_peak = 0;
+  auto publish_arena = [&](std::uint64_t cert_edges, std::uint64_t arcs) {
+    arena_arcs_peak = std::max(arena_arcs_peak, arcs);
+    if (opts_.metrics != nullptr) {
+      obs::MetricsRegistry& m = *opts_.metrics;
+      m.gauge("connectivity.cert_edges")
+          .set(static_cast<double>(cert_edges));
+      m.gauge("connectivity.arena_arcs_peak")
+          .set(static_cast<double>(arena_arcs_peak));
+    }
+  };
+  auto ensure_nets = [&](std::uint32_t block_bound) {
+    if (!opts_.sparsify) {
+      if (nets.empty()) {
+        const Dinic prototype = detail::make_split_prototype(adj_);
+        publish_arena(adj_.num_edges(), prototype.num_arcs());
+        nets.assign(pool.size(), prototype);
+      }
+      return;
+    }
+    if (cert.has_value() && cert->k == block_bound) return;
+    cert.emplace(sparse_certificate(adj_, block_bound));
+    const Dinic prototype = detail::make_split_prototype(cert->graph);
+    publish_arena(cert->graph.num_edges(), prototype.num_arcs());
+    nets.assign(pool.size(), prototype);
+    obs::FlightRecorder::record("sweep_certificate", cert->k,
+                                cert->graph.num_edges(),
+                                prototype.num_arcs());
+  };
   std::vector<BlockTally> tallies(pool.size());
+  // One neighbor-scratch buffer per worker for target adjacency reads
+  // (zero-copy on CSR, filled arithmetically on implicit providers).
+  std::vector<std::vector<NodeId>> scratches(
+      pool.size(), std::vector<NodeId>(adj_.max_degree()));
 
   std::uint64_t blocks_this_run = 0;
   while (!state_.complete) {
@@ -306,17 +370,27 @@ ExactConnectivityResult ConnectivitySweep::run() {
       break;
     }
     const NodeId s = source_order_[state_.stages_done];
-    // Targets: every non-neighbor of s, ascending (merge walk against the
-    // sorted adjacency).
-    std::vector<NodeId> targets;
-    targets.reserve(n - 1 - g_.degree(s));
+    // The source adjacency is read once per stage and shared by every
+    // worker (pruning intersects against it).
+    std::vector<NodeId> s_adj;
     {
-      const std::span<const NodeId> nb = g_.neighbors(s);
+      NeighborScratch s_scratch(adj_);
+      const std::span<const NodeId> nb = adj_.neighbors(s, s_scratch.data());
+      s_adj.assign(nb.begin(), nb.end());
+    }
+    // Targets: every non-neighbor of s, ascending (merge walk against the
+    // sorted adjacency); under the orbit schedule, only orbit
+    // representatives (kappa(s, t) == kappa(s, rep(t)), so the minimum
+    // over representatives is the minimum over all targets).
+    std::vector<NodeId> targets;
+    targets.reserve(n - 1 - static_cast<NodeId>(s_adj.size()));
+    {
       std::size_t j = 0;
       for (NodeId t = 0; t < n; ++t) {
         if (t == s) continue;
-        while (j < nb.size() && nb[j] < t) ++j;
-        if (j < nb.size() && nb[j] == t) continue;
+        while (j < s_adj.size() && s_adj[j] < t) ++j;
+        if (j < s_adj.size() && s_adj[j] == t) continue;
+        if (state_.orbit && opts_.orbit_rep(t) != t) continue;
         targets.push_back(t);
       }
     }
@@ -342,8 +416,12 @@ ExactConnectivityResult ConnectivitySweep::run() {
       // and checkpoint bytes thread-count invariant. Freezing is exact:
       // the frozen bound is always >= kappa, so the decisive solve (source
       // outside the minimum cut, target across it) is never pruned and
-      // never truncated below its true flow.
+      // never truncated below its true flow -- kappa(s,t) <= min(ds, dt)
+      // for non-adjacent pairs and <= bound inductively, so capping the
+      // limit at the bound (rather than bound+1) loses nothing and skips
+      // the final level-graph phase of every saturated solve.
       const std::uint32_t block_bound = state_.bound;
+      ensure_nets(block_bound);
       const std::uint64_t begin = std::uint64_t{b} * opts_.block_size;
       const std::uint64_t end =
           std::min<std::uint64_t>(targets.size(), begin + opts_.block_size);
@@ -355,9 +433,12 @@ ExactConnectivityResult ConnectivitySweep::run() {
           [&](unsigned worker, std::uint64_t lo, std::uint64_t hi) {
             BlockTally& tally = tallies[worker];
             Dinic& net = nets[worker];
+            NodeId* scratch = scratches[worker].data();
+            const std::span<const NodeId> sa = s_adj;
+            const std::uint32_t ds = static_cast<std::uint32_t>(sa.size());
             for (std::uint64_t k = lo; k < hi; ++k) {
               const NodeId t = targets[begin + k];
-              const std::uint32_t ds = g_.degree(s), dt = g_.degree(t);
+              const std::uint32_t dt = adj_.degree(t);
               // kappa(s,t) >= |N(s) cap N(t)| (disjoint length-2 paths);
               // pigeonhole gives |N(s) cap N(t)| >= ds + dt - (n-2) for
               // free, the merge count is exact up to block_bound.
@@ -366,14 +447,14 @@ ExactConnectivityResult ConnectivitySweep::run() {
                   std::uint64_t{n} - 2 + block_bound) {
                 lb = block_bound;
               } else {
-                lb = detail::common_neighbors_at_least(g_, s, t, block_bound);
+                lb = detail::common_neighbors_at_least(
+                    sa, adj_.neighbors(t, scratch), block_bound);
               }
               if (lb >= block_bound) {
                 ++tally.pruned;
                 continue;
               }
-              const std::int64_t limit =
-                  std::int64_t{std::min({ds, dt, block_bound})} + 1;
+              const std::int64_t limit = std::min({ds, dt, block_bound});
               const std::int64_t flow = detail::split_solve(net, s, t, limit);
               ++tally.solves;
               tally.flows.record(static_cast<std::uint64_t>(flow));
@@ -427,9 +508,15 @@ ExactConnectivityResult ConnectivitySweep::run() {
 
 std::uint32_t vertex_connectivity_even_tarjan(const Graph& g,
                                               unsigned threads) {
+  const CsrAdjacency csr(g);
+  return vertex_connectivity_even_tarjan(csr, threads);
+}
+
+std::uint32_t vertex_connectivity_even_tarjan(const AdjacencyProvider& adj,
+                                              unsigned threads) {
   SweepOptions opts;
   opts.threads = threads;
-  ConnectivitySweep sweep(g, std::move(opts));
+  ConnectivitySweep sweep(adj, std::move(opts));
   return sweep.run().kappa;
 }
 

@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/adjacency.hpp"
 #include "graph/graph.hpp"
 #include "graph/maxflow.hpp"
 
@@ -67,6 +68,23 @@ struct SweepOptions {
   /// Targets per checkpoint block: the granularity of pruning-bound
   /// refresh, checkpoint writes, and progress callbacks.
   std::uint32_t block_size = 256;
+  /// Run every flow solve on a Nagamochi-Ibaraki certificate (built at the
+  /// bound frozen for the block, rebuilt only when that bound drops) instead
+  /// of the full graph. Exact: the certificate preserves every cut up to the
+  /// frozen bound and the flow limits never exceed it, so kappa, all solve
+  /// and prune counts, and the checkpoint bytes are identical with this on
+  /// or off. Pays off when kappa << min degree (the per-worker Dinic arena
+  /// shrinks from O(|E|) to O(bound * |V|)).
+  bool sparsify = false;
+  /// Target-orbit reduction for the single-source schedule: maps a vertex
+  /// to the canonical representative of its orbit under a subgroup of
+  /// automorphisms fixing the scanned source, and must satisfy rep(rep(v))
+  /// == rep(v) and rep(source) == source. Only targets that are their own
+  /// representative are solved -- exact because kappa(source, v) ==
+  /// kappa(source, rep(v)). Requires vertex_transitive; changes the
+  /// checkpoint schedule token (a non-orbit checkpoint restarts cleanly).
+  /// For HB(m,n) use hb_cube_orbit_representative (topology/hb_implicit.hpp).
+  std::function<NodeId(NodeId)> orbit_rep;
   /// Stop (with ExactConnectivityResult::complete == false) after this many
   /// blocks in this run; 0 = run to completion. Test hook for kill/resume.
   std::uint64_t max_blocks = 0;
@@ -97,9 +115,12 @@ struct SweepState {
   // Graph identity: a resumed run must match all three.
   std::uint32_t num_nodes = 0;
   std::uint64_t num_edges = 0;
-  std::uint64_t fingerprint = 0;  // FNV-1a over the CSR arrays
+  std::uint64_t fingerprint = 0;  // AdjacencyProvider::fingerprint() -- the
+                                  // FNV-1a CSR digest in csr mode, the
+                                  // mode-tagged digest for implicit providers
   // Schedule identity.
   bool single_source = false;
+  bool orbit = false;  // single-source with target-orbit reduction
   std::uint32_t block_size = 0;
   // Position: stages_done sources fully scanned, plus blocks_done blocks of
   // the current stage. Normalized: a finished stage rolls over to
@@ -152,7 +173,12 @@ bool save_checkpoint(const std::string& path, const SweepState& st);
 /// The graph reference must outlive the sweep.
 class ConnectivitySweep {
  public:
+  /// CSR mode: wraps `g` in an owned CsrAdjacency view.
   ConnectivitySweep(const Graph& g, SweepOptions opts);
+
+  /// Provider mode: runs against any adjacency source (CSR or implicit).
+  /// The provider must outlive the sweep.
+  ConnectivitySweep(const AdjacencyProvider& adj, SweepOptions opts);
 
   /// Runs the sweep (to completion, or until SweepOptions::max_blocks),
   /// checkpointing after every block when a checkpoint path is set.
@@ -171,8 +197,10 @@ class ConnectivitySweep {
  private:
   void run_stage(unsigned stage_threads);
   [[nodiscard]] std::uint32_t sources_needed() const;
+  void init();
 
-  const Graph& g_;
+  std::optional<CsrAdjacency> owned_csr_;  // set by the Graph constructor
+  const AdjacencyProvider& adj_;
   SweepOptions opts_;
   SweepState state_;
   std::vector<NodeId> source_order_;  // all vertices, (degree, id) ascending
@@ -186,11 +214,18 @@ class ConnectivitySweep {
 [[nodiscard]] std::uint32_t vertex_connectivity_even_tarjan(
     const Graph& g, unsigned threads = 0);
 
+/// Provider-generic variant of the above.
+[[nodiscard]] std::uint32_t vertex_connectivity_even_tarjan(
+    const AdjacencyProvider& adj, unsigned threads = 0);
+
 namespace detail {
 
 /// Builds the shared vertex-split unit-capacity flow prototype (see
 /// connectivity.cpp for the arc layout contract: vertex v's in->out arc has
 /// index 2v).
+[[nodiscard]] Dinic make_split_prototype(const AdjacencyProvider& adj);
+
+/// CSR convenience overload.
 [[nodiscard]] Dinic make_split_prototype(const Graph& g);
 
 /// One (s,t) solve on a clone of the split prototype: widens the terminal
@@ -198,11 +233,11 @@ namespace detail {
 /// limit > kappa(s, t).
 std::int64_t split_solve(Dinic& dinic, NodeId s, NodeId t, std::int64_t limit);
 
-/// |N(s) cap N(t)|, counting stops early at `cap` (sorted-list merge on the
-/// CSR adjacency). A lower bound on kappa(s, t) for non-adjacent s, t.
-[[nodiscard]] std::uint32_t common_neighbors_at_least(const Graph& g, NodeId s,
-                                                      NodeId t,
-                                                      std::uint32_t cap);
+/// |a cap b| for two sorted adjacency spans, counting stops early at `cap`.
+/// A lower bound on kappa(s, t) for non-adjacent s, t (each common neighbor
+/// is an internally disjoint length-2 path).
+[[nodiscard]] std::uint32_t common_neighbors_at_least(
+    std::span<const NodeId> a, std::span<const NodeId> b, std::uint32_t cap);
 
 }  // namespace detail
 

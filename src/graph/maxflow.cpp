@@ -1,7 +1,6 @@
 #include "graph/maxflow.hpp"
 
 #include <algorithm>
-#include <queue>
 
 namespace hbnet {
 
@@ -17,20 +16,36 @@ std::uint32_t Dinic::add_arc(std::uint32_t from, std::uint32_t to,
 
 void Dinic::reset() {
   for (Arc& arc : arcs_) arc.cap = arc.cap0;
+  touched_.clear();
+}
+
+void Dinic::undo_flow() {
+  // Entries may repeat (one per augmenting path through the arc); restoring
+  // to cap0 is idempotent, so duplicates are harmless.
+  for (std::uint32_t a : touched_) {
+    arcs_[a].cap = arcs_[a].cap0;
+    arcs_[a ^ 1].cap = arcs_[a ^ 1].cap0;
+  }
+  touched_.clear();
 }
 
 bool Dinic::build_levels(std::uint32_t s, std::uint32_t t) {
   std::fill(level_.begin(), level_.end(), -1);
-  std::queue<std::uint32_t> q;
+  bfs_queue_.clear();
   level_[s] = 0;
-  q.push(s);
-  while (!q.empty()) {
-    std::uint32_t u = q.front();
-    q.pop();
+  bfs_queue_.push_back(s);
+  for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+    const std::uint32_t u = bfs_queue_[qi];
     for (std::int32_t a = head_[u]; a != -1; a = arcs_[a].next) {
       if (arcs_[a].cap > 0 && level_[arcs_[a].to] < 0) {
         level_[arcs_[a].to] = level_[u] + 1;
-        q.push(arcs_[a].to);
+        // Early exit: BFS labels level by level, so everything at a level
+        // below t is already labelled, and vertices labelled after t could
+        // only sit at t's level or deeper -- no augmenting shortest path
+        // uses them. Unlabelled vertices keep level -1 and are skipped by
+        // the DFS level check.
+        if (arcs_[a].to == t) return true;
+        bfs_queue_.push_back(arcs_[a].to);
       }
     }
   }
@@ -48,6 +63,7 @@ std::int64_t Dinic::augment(std::uint32_t u, std::uint32_t t,
     if (pushed > 0) {
       arc.cap -= static_cast<std::int32_t>(pushed);
       arcs_[a ^ 1].cap += static_cast<std::int32_t>(pushed);
+      touched_.push_back(static_cast<std::uint32_t>(a));
       return pushed;
     }
   }

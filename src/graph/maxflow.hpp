@@ -37,6 +37,12 @@ class Dinic {
   /// allocation, vs O(vertices + arcs) construction plus allocation.
   void reset();
 
+  /// Same postcondition as reset() but O(flow pushed): every augment since
+  /// the last reset()/undo_flow() records the arcs it modified, and only
+  /// those are restored. The connectivity sweeps call this between solves,
+  /// where the pushed flow (<= kappa) is tiny against the arena size.
+  void undo_flow();
+
   /// Overrides the current AND the reset() capacity of an arc (the twin is
   /// zeroed). Used by the connectivity sweeps to mark the terminals of the
   /// vertex-split network before each solve and to restore them afterwards;
@@ -77,6 +83,8 @@ class Dinic {
   std::vector<Arc> arcs_;
   std::vector<std::int32_t> level_;
   std::vector<std::int32_t> iter_;
+  std::vector<std::uint32_t> bfs_queue_;  // reused across build_levels calls
+  std::vector<std::uint32_t> touched_;    // arcs modified since last restore
 };
 
 }  // namespace hbnet

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "graph/adjacency.hpp"
 #include "graph/connectivity_sweep.hpp"
 
 namespace hbnet::check {
@@ -75,23 +76,31 @@ std::string validate(const SweepState& st) {
   if (st.complete && st.blocks_done != 0) {
     return "complete checkpoint sits mid-stage (position not normalized)";
   }
+  if (st.orbit && !st.single_source) {
+    return "orbit schedule recorded without single-source";
+  }
+  return {};
+}
+
+std::string validate(const SweepState& st, const AdjacencyProvider& adj) {
+  if (std::string err = validate(st); !err.empty()) return err;
+  if (st.num_nodes != adj.num_nodes()) {
+    return "checkpoint node count " + std::to_string(st.num_nodes) +
+           " != graph node count " + std::to_string(adj.num_nodes());
+  }
+  if (st.num_edges != adj.num_edges()) {
+    return "checkpoint edge count " + std::to_string(st.num_edges) +
+           " != graph edge count " + std::to_string(adj.num_edges());
+  }
+  if (st.fingerprint != adj.fingerprint()) {
+    return "checkpoint fingerprint does not match the graph";
+  }
   return {};
 }
 
 std::string validate(const SweepState& st, const Graph& g) {
-  if (std::string err = validate(st); !err.empty()) return err;
-  if (st.num_nodes != g.num_nodes()) {
-    return "checkpoint node count " + std::to_string(st.num_nodes) +
-           " != graph node count " + std::to_string(g.num_nodes());
-  }
-  if (st.num_edges != g.num_edges()) {
-    return "checkpoint edge count " + std::to_string(st.num_edges) +
-           " != graph edge count " + std::to_string(g.num_edges());
-  }
-  if (st.fingerprint != graph_fingerprint(g)) {
-    return "checkpoint fingerprint does not match the graph";
-  }
-  return {};
+  const CsrAdjacency csr(g);
+  return validate(st, csr);
 }
 
 }  // namespace hbnet::check

@@ -16,6 +16,7 @@
 #include "graph/graph.hpp"
 
 namespace hbnet {
+class AdjacencyProvider;
 struct SweepState;
 }
 
@@ -35,8 +36,14 @@ namespace hbnet::check {
 [[nodiscard]] std::string validate(const SweepState& st);
 
 /// The above plus graph identity: a checkpoint may only be resumed against
-/// the exact graph it was taken from (node and edge counts and the CSR
-/// fingerprint must all match).
+/// the exact adjacency it was taken from (node and edge counts and the
+/// provider fingerprint must all match; the fingerprint is mode-tagged, so
+/// a CSR checkpoint never resumes against an implicit provider or vice
+/// versa).
+[[nodiscard]] std::string validate(const SweepState& st,
+                                   const AdjacencyProvider& adj);
+
+/// CSR convenience overload of the identity check.
 [[nodiscard]] std::string validate(const SweepState& st, const Graph& g);
 
 }  // namespace hbnet::check

@@ -1,0 +1,28 @@
+// hblint-path: src/graph/reach_probe.cpp
+// Fixture: a Graph& overload that delegates through CsrAdjacency passes
+// provider-generic -- the CSR path is a thin adapter over the
+// provider-generic implementation.
+#include <cstdint>
+
+struct Graph {
+  std::uint32_t num_nodes() const { return 0; }
+};
+
+struct AdjacencyProvider {
+  virtual std::uint32_t num_nodes() const = 0;
+};
+
+struct CsrAdjacency : AdjacencyProvider {
+  explicit CsrAdjacency(const Graph& g) : g_(g) {}
+  std::uint32_t num_nodes() const override { return g_.num_nodes(); }
+  const Graph& g_;
+};
+
+std::uint32_t reach_count(const AdjacencyProvider& adj) {
+  return adj.num_nodes();
+}
+
+std::uint32_t reach_count(const Graph& g) {
+  const CsrAdjacency csr(g);
+  return reach_count(csr);
+}

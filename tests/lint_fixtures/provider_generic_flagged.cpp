@@ -1,0 +1,30 @@
+// hblint-path: src/graph/reach_probe.cpp
+// Fixture: rule provider-generic must flag a Graph& overload that
+// reimplements an algorithm which also has an AdjacencyProvider& overload
+// in the same file -- the Graph& twin has to delegate through CsrAdjacency
+// so the two code paths cannot drift apart.
+#include <cstdint>
+#include <vector>
+
+struct Graph {
+  std::uint32_t num_nodes() const { return 0; }
+  std::vector<std::uint32_t> neighbors(std::uint32_t) const { return {}; }
+};
+
+struct AdjacencyProvider {
+  virtual std::uint32_t num_nodes() const = 0;
+};
+
+std::uint32_t reach_count(const AdjacencyProvider& adj) {
+  return adj.num_nodes();
+}
+
+std::uint32_t reach_count(const Graph& g) {
+  // Second implementation against the CSR arrays: exactly the drift the
+  // rule exists to prevent.
+  std::uint32_t count = 0;
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    count += static_cast<std::uint32_t>(g.neighbors(v).size());
+  }
+  return count;
+}

@@ -9,15 +9,18 @@
 #include <fstream>
 #include <random>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "graph/validate.hpp"
 #include "core/hyper_butterfly.hpp"
+#include "graph/adjacency.hpp"
 #include "graph/builder.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/connectivity_sweep.hpp"
 #include "obs/metrics.hpp"
+#include "topology/hb_implicit.hpp"
 #include "topology/hypercube.hpp"
 
 namespace hbnet {
@@ -332,6 +335,241 @@ TEST(ConnectivitySweep, ValidatorAcceptsEngineStatesAndRejectsCorruption) {
   bad.fingerprint ^= 1;
   EXPECT_EQ(check::validate(bad), "");  // shape-only checks still pass
   EXPECT_NE(check::validate(bad, g), "");  // graph identity does not
+}
+
+TEST(ConnectivitySweep, SparsifyIsByteIdenticalOnRandomGraphs) {
+  // The --sparsify contract: kappa, solve and prune counts, and the final
+  // checkpoint BYTES are identical with certificates on or off. ~20 random
+  // graphs across sizes and densities plus both schedules.
+  std::uint64_t seed = 7000;
+  int checked = 0;
+  for (NodeId n : {6, 9, 12, 15}) {
+    for (double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      Graph g = random_graph(n, p, seed++, /*connected=*/true);
+      std::string bytes[2];
+      std::uint32_t kappa[2];
+      for (int s = 0; s < 2; ++s) {
+        const std::string path = temp_path("sparsify" + std::to_string(s));
+        std::remove(path.c_str());
+        SweepOptions opts;
+        opts.sparsify = (s == 1);
+        opts.block_size = 4;
+        opts.checkpoint_path = path;
+        ExactConnectivityResult r = ConnectivitySweep(g, opts).run();
+        ASSERT_TRUE(r.complete);
+        kappa[s] = r.kappa;
+        bytes[s] = slurp(path);
+        std::remove(path.c_str());
+      }
+      EXPECT_EQ(kappa[0], kappa[1]) << "n=" << n << " p=" << p;
+      EXPECT_EQ(bytes[0], bytes[1]) << "n=" << n << " p=" << p;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 20);
+}
+
+TEST(ConnectivitySweep, SparsifyIsByteIdenticalOnHbInstances) {
+  for (auto [m, n] : {std::pair<unsigned, unsigned>{2, 3}, {3, 3}}) {
+    Graph g = HyperButterfly(m, n).to_graph();
+    std::string bytes[2];
+    for (int s = 0; s < 2; ++s) {
+      const std::string path = temp_path("hb_sparsify" + std::to_string(s));
+      std::remove(path.c_str());
+      SweepOptions opts;
+      opts.vertex_transitive = true;
+      opts.sparsify = (s == 1);
+      opts.block_size = 32;
+      opts.checkpoint_path = path;
+      ExactConnectivityResult r = ConnectivitySweep(g, opts).run();
+      ASSERT_TRUE(r.complete);
+      EXPECT_EQ(r.kappa, m + 4);
+      bytes[s] = slurp(path);
+      std::remove(path.c_str());
+    }
+    EXPECT_EQ(bytes[0], bytes[1]) << "HB(" << m << "," << n << ")";
+  }
+}
+
+TEST(ConnectivitySweep, ImplicitProviderMatchesCsrExactly) {
+  // Same schedule, same solve/prune counts, same kappa; the checkpoint
+  // differs only in the mode-tagged fingerprint field.
+  for (auto [m, n] : {std::pair<unsigned, unsigned>{2, 3}, {3, 3}}) {
+    Graph g = HyperButterfly(m, n).to_graph();
+    HbImplicitAdjacency imp(m, n);
+    SweepOptions opts;
+    opts.vertex_transitive = true;
+    ConnectivitySweep csr_sweep(g, opts);
+    ConnectivitySweep imp_sweep(imp, opts);
+    ExactConnectivityResult a = csr_sweep.run();
+    ExactConnectivityResult b = imp_sweep.run();
+    ASSERT_TRUE(a.complete);
+    ASSERT_TRUE(b.complete);
+    EXPECT_EQ(a.kappa, b.kappa);
+    EXPECT_EQ(a.solves, b.solves);
+    EXPECT_EQ(a.pruned, b.pruned);
+    SweepState sa = csr_sweep.state();
+    SweepState sb = imp_sweep.state();
+    EXPECT_NE(sa.fingerprint, sb.fingerprint);  // mode tag by design
+    sb.fingerprint = sa.fingerprint;
+    EXPECT_EQ(serialize_checkpoint(sa), serialize_checkpoint(sb));
+  }
+}
+
+TEST(ConnectivitySweep, EdgeConnectivitySparsifyEquivalence) {
+  std::uint64_t seed = 8100;
+  for (NodeId n : {8, 12, 16}) {
+    for (double p : {0.3, 0.7}) {
+      Graph g = random_graph(n, p, seed++, /*connected=*/true);
+      CsrAdjacency csr(g);
+      EXPECT_EQ(edge_connectivity(csr, 0, /*sparsify=*/true),
+                edge_connectivity(csr, 0, /*sparsify=*/false))
+          << "n=" << n << " p=" << p;
+    }
+  }
+  HbImplicitAdjacency imp(2, 3);
+  EXPECT_EQ(edge_connectivity(imp, 0, true), 6u);
+}
+
+TEST(ConnectivitySweep, KillResumeWithSparsifyAcrossThreadCounts) {
+  // Satellite contract: checkpoint kill/resume stays byte-identical with
+  // sparsification enabled, at 1, 2, and 8 threads.
+  Graph g = HyperButterfly(2, 3).to_graph();
+  const std::string uninterrupted_path = temp_path("sp_uninterrupted");
+  std::remove(uninterrupted_path.c_str());
+
+  SweepOptions base;
+  base.vertex_transitive = true;
+  base.sparsify = true;
+  base.block_size = 16;
+
+  SweepOptions one_shot = base;
+  one_shot.checkpoint_path = uninterrupted_path;
+  ExactConnectivityResult full = ConnectivitySweep(g, one_shot).run();
+  ASSERT_TRUE(full.complete);
+  const std::string reference = slurp(uninterrupted_path);
+  std::remove(uninterrupted_path.c_str());
+
+  for (unsigned threads : kThreadCounts) {
+    const std::string path =
+        temp_path("sp_resume_t" + std::to_string(threads));
+    std::remove(path.c_str());
+    ExactConnectivityResult step;
+    int runs = 0;
+    for (; runs < 1000; ++runs) {
+      SweepOptions opts = base;
+      opts.threads = threads;
+      opts.checkpoint_path = path;
+      opts.max_blocks = 1;
+      ConnectivitySweep sweep(g, opts);
+      if (runs > 0) EXPECT_TRUE(sweep.resumed()) << sweep.resume_note();
+      step = sweep.run();
+      if (step.complete) break;
+    }
+    ASSERT_TRUE(step.complete) << threads << " threads";
+    EXPECT_GT(runs, 0);
+    EXPECT_EQ(step.kappa, full.kappa) << threads << " threads";
+    EXPECT_EQ(slurp(path), reference) << threads << " threads";
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ConnectivitySweep, OrbitScheduleIsExactAndChangesToken) {
+  for (auto [m, n] : {std::pair<unsigned, unsigned>{2, 3}, {3, 3}}) {
+    Graph g = HyperButterfly(m, n).to_graph();
+    SweepOptions plain;
+    plain.vertex_transitive = true;
+    ExactConnectivityResult a = ConnectivitySweep(g, plain).run();
+
+    SweepOptions orbit = plain;
+    orbit.orbit_rep = [m = m, n = n](NodeId v) {
+      return hb_cube_orbit_representative(m, n, v);
+    };
+    ConnectivitySweep sweep(g, orbit);
+    ExactConnectivityResult b = sweep.run();
+    ASSERT_TRUE(a.complete);
+    ASSERT_TRUE(b.complete);
+    EXPECT_EQ(a.kappa, b.kappa);
+    EXPECT_LT(b.solves, a.solves);  // the whole point of the reduction
+    EXPECT_TRUE(sweep.state().orbit);
+    EXPECT_NE(serialize_checkpoint(sweep.state())
+                  .find("single-source-orbits"),
+              std::string::npos);
+  }
+}
+
+TEST(ConnectivitySweep, OrbitCheckpointDoesNotCrossResume) {
+  // An orbit checkpoint must not resume a non-orbit run and vice versa --
+  // the position encodes which targets were skipped.
+  Graph g = HyperButterfly(2, 3).to_graph();
+  const std::string path = temp_path("orbit_cross");
+  std::remove(path.c_str());
+
+  SweepOptions orbit;
+  orbit.vertex_transitive = true;
+  orbit.checkpoint_path = path;
+  orbit.max_blocks = 1;
+  orbit.block_size = 16;
+  orbit.orbit_rep = [](NodeId v) {
+    return hb_cube_orbit_representative(2, 3, v);
+  };
+  ExactConnectivityResult partial = ConnectivitySweep(g, orbit).run();
+  ASSERT_FALSE(partial.complete);
+
+  SweepOptions plain;
+  plain.vertex_transitive = true;
+  plain.checkpoint_path = path;
+  plain.block_size = 16;
+  ConnectivitySweep sweep(g, plain);
+  EXPECT_FALSE(sweep.resumed());
+  EXPECT_FALSE(sweep.resume_note().empty());
+  ExactConnectivityResult r = sweep.run();  // restarts cleanly
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.kappa, 6u);
+  std::remove(path.c_str());
+}
+
+TEST(ConnectivitySweep, OrbitRepRequiresVertexTransitive) {
+  Graph g = HyperButterfly(2, 3).to_graph();
+  SweepOptions opts;
+  opts.orbit_rep = [](NodeId v) { return v; };
+  EXPECT_THROW(ConnectivitySweep(g, opts), std::invalid_argument);
+}
+
+TEST(ConnectivitySweep, SparsifyReportsArenaShrinkOnDenseGraph) {
+  // Two K_48 cliques + 3 bridges + a degree-3 apex hanging off the first
+  // clique: kappa = 3 = min degree, so the sweep's frozen pruning bound is
+  // 3 from the very first block and every certificate is built at k = 3
+  // (<= 3 * 96 edges vs 2262). The certificate arena peak must come out
+  // >= 4x below the full-graph arena peak.
+  GraphBuilder b(97);
+  for (NodeId u = 0; u < 48; ++u) {
+    for (NodeId v = u + 1; v < 48; ++v) {
+      b.add_edge(u, v);
+      b.add_edge(u + 48, v + 48);
+    }
+  }
+  for (NodeId i = 0; i < 3; ++i) b.add_edge(i, 48 + i);
+  for (NodeId i = 0; i < 3; ++i) b.add_edge(96, i);
+  Graph g = b.build();
+
+  double peaks[2];
+  std::uint32_t kappa[2];
+  for (int s = 0; s < 2; ++s) {
+    obs::MetricsRegistry metrics;
+    SweepOptions opts;
+    opts.sparsify = (s == 1);
+    opts.block_size = 2;
+    opts.metrics = &metrics;
+    ExactConnectivityResult r = ConnectivitySweep(g, opts).run();
+    ASSERT_TRUE(r.complete);
+    kappa[s] = r.kappa;
+    peaks[s] = metrics.gauge("connectivity.arena_arcs_peak").value();
+    EXPECT_GT(metrics.gauge("connectivity.cert_edges").value(), 0.0);
+  }
+  EXPECT_EQ(kappa[0], kappa[1]);
+  EXPECT_EQ(kappa[0], 3u);
+  EXPECT_GE(peaks[0], 4.0 * peaks[1]);
 }
 
 }  // namespace

@@ -66,6 +66,8 @@ const FixturePair kPairs[] = {
      "emission_order_clean.cpp"},
     {"exchange-invariant", "exchange_invariant_flagged.cpp",
      "exchange_invariant_clean.cpp"},
+    {"provider-generic", "provider_generic_flagged.cpp",
+     "provider_generic_clean.cpp"},
 };
 
 TEST(Hblint, EveryRuleHasFlaggedFixture) {

@@ -81,6 +81,35 @@ def load_iterations(path, warnings):
     return out
 
 
+def check_build_type(path, side, warnings):
+    """Warn when a benchmark file was produced by a non-release build.
+
+    ``context.hbnet_build_type`` (stamped by tools/bench_json.sh from the
+    build tree's CMakeCache) is authoritative; Google Benchmark's own
+    ``context.library_build_type`` -- how the *benchmark support library*
+    was compiled, often a debug system package -- is the fallback for
+    artifacts predating the stamp. A "debug" baseline makes every
+    comparison meaningless (debug timings are several times slower and
+    gate nothing real), so the mismatch is surfaced loudly -- but stays a
+    warning: the gate still runs on what it has.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return  # load_iterations already reported the file itself
+    if not isinstance(doc, dict):
+        return
+    context = doc.get("context", {})
+    build_type = context.get("hbnet_build_type",
+                             context.get("library_build_type"))
+    if build_type is not None and build_type != "release":
+        warnings.append(
+            f"{path.name}: {side} was produced by a '{build_type}' build, "
+            "not 'release' -- regenerate with tools/bench_json.sh from a "
+            "-DCMAKE_BUILD_TYPE=Release tree")
+
+
 def fmt_ns(ns):
     for unit, factor in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= factor:
@@ -151,6 +180,8 @@ def main(argv):
         if not fresh_path.is_file():
             warnings.append(f"{base_path.name}: no fresh run to compare")
             continue
+        check_build_type(base_path, "baseline", warnings)
+        check_build_type(fresh_path, "fresh run", warnings)
         base = load_iterations(base_path, warnings)
         fresh = load_iterations(fresh_path, warnings)
         for name in sorted(set(base) - set(fresh)):

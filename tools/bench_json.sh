@@ -57,7 +57,23 @@ done
     --benchmark_out="${OUT_DIR}/BENCH_simulation.json" \
     --benchmark_out_format=json
 
+# Stamp the *repo* build type into each context. Google Benchmark's own
+# context.library_build_type reports how the benchmark support library was
+# compiled (a system package, often debug), not how the hbnet tree was --
+# tools/bench_gate.py gates on hbnet_build_type when present.
+HBNET_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                    "${BUILD_DIR}/CMakeCache.txt" | tr '[:upper:]' '[:lower:]')"
+python3 - "${OUT_DIR}" "${HBNET_BUILD_TYPE:-unknown}" <<'EOF'
+import json, pathlib, sys
+out_dir, build_type = pathlib.Path(sys.argv[1]), sys.argv[2]
+for path in sorted(out_dir.glob("BENCH_*.json")):
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc.setdefault("context", {})["hbnet_build_type"] = build_type
+    path.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+EOF
+
 echo "wrote ${OUT_DIR}/BENCH_wormhole.json," \
      "${OUT_DIR}/BENCH_connectivity.json," \
      "${OUT_DIR}/BENCH_campaign.json and" \
-     "${OUT_DIR}/BENCH_simulation.json"
+     "${OUT_DIR}/BENCH_simulation.json" \
+     "(hbnet_build_type=${HBNET_BUILD_TYPE:-unknown})"

@@ -778,6 +778,114 @@ void rule_exchange_invariant(const Ctx& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// provider-generic: once a graph algorithm grows an AdjacencyProvider&
+// overload, its `const Graph&` twin must be a thin CSR adapter -- delegate
+// through CsrAdjacency -- not a second implementation that silently drifts
+// from the provider-generic one. Overloads are paired positionally: a
+// Graph& parameter at index i pairs with an AdjacencyProvider& parameter
+// at the same index in another definition of the same name, so unrelated
+// same-name functions (validate(const Graph&) vs
+// validate(const SweepState&, const AdjacencyProvider&)) stay exempt.
+// ---------------------------------------------------------------------------
+
+struct ProviderOverload {
+  std::size_t name_pos = 0;
+  std::size_t params_end = 0;  // at the ')'
+  std::size_t body_end = 0;    // at the '}' (definitions only)
+  std::vector<std::size_t> graph_params;     // parameter indices
+  std::vector<std::size_t> provider_params;  // parameter indices
+};
+
+void rule_provider_generic(const Ctx& ctx) {
+  const std::string& text = ctx.fi->blanked;
+  static const std::regex kFn(R"(\b([A-Za-z_]\w*)\s*\()");
+  static const std::regex kGraphParam(R"(\bGraph\s*&)");
+  std::map<std::string, std::vector<ProviderOverload>> fns;
+  auto begin = std::sregex_iterator(text.begin(), text.end(), kFn);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (is_decl_ban_word(name)) continue;
+    const std::size_t open = static_cast<std::size_t>(it->position()) +
+                             static_cast<std::size_t>(it->length()) - 1;
+    const std::size_t close = lex::match_forward(text, open, '(', ')');
+    if (close == npos) continue;
+    // Parameter segments at top level; classify each.
+    ProviderOverload ov;
+    ov.name_pos = static_cast<std::size_t>(it->position());
+    ov.params_end = close;
+    std::size_t seg = open + 1;
+    std::size_t index = 0;
+    while (seg < close) {
+      std::size_t end = seg;
+      int depth = 0;
+      while (end < close) {
+        const char c = text[end];
+        if (c == '(' || c == '{' || c == '<' || c == '[') ++depth;
+        if (c == ')' || c == '}' || c == '>' || c == ']') --depth;
+        if (c == ',' && depth == 0) break;
+        ++end;
+      }
+      const std::string segment = text.substr(seg, end - seg);
+      if (segment.find("AdjacencyProvider") != npos) {
+        ov.provider_params.push_back(index);
+      } else if (std::regex_search(segment, kGraphParam)) {
+        ov.graph_params.push_back(index);
+      }
+      ++index;
+      seg = end + 1;
+    }
+    if (ov.graph_params.empty() && ov.provider_params.empty()) continue;
+    // Definition? The signature runs into a '{' (possibly through a
+    // member-init list / specifiers) before any ';'. Declarations and call
+    // sites are skipped -- the contract binds implementations.
+    std::size_t p = close + 1;
+    std::size_t brace = npos;
+    while (p < text.size()) {
+      const char c = text[p];
+      if (c == ';' || c == ')' || c == ',') break;
+      if (c == '{') {
+        brace = p;
+        break;
+      }
+      ++p;
+    }
+    if (brace == npos) continue;
+    ov.body_end = lex::match_forward(text, brace, '{', '}');
+    if (ov.body_end == npos) continue;
+    fns[name].push_back(std::move(ov));
+  }
+  for (const auto& [name, overloads] : fns) {
+    for (const ProviderOverload& g : overloads) {
+      if (g.graph_params.empty() || !g.provider_params.empty()) continue;
+      // Positionally paired provider overload of the same name?
+      bool paired = false;
+      for (const ProviderOverload& pvd : overloads) {
+        for (const std::size_t gi : g.graph_params) {
+          if (std::find(pvd.provider_params.begin(),
+                        pvd.provider_params.end(),
+                        gi) != pvd.provider_params.end()) {
+            paired = true;
+          }
+        }
+      }
+      if (!paired) continue;
+      // The Graph& definition, from its parameter list through its body
+      // (member-init lists included), must route through CsrAdjacency.
+      const std::string region =
+          text.substr(g.params_end, g.body_end - g.params_end);
+      if (region.find("CsrAdjacency") == npos) {
+        ctx.report_at(
+            g.name_pos, "provider-generic",
+            "'" + name +
+                "' has an AdjacencyProvider& overload; the Graph& overload "
+                "must delegate through CsrAdjacency instead of "
+                "reimplementing the algorithm against the CSR arrays");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Catalogue and drivers.
 // ---------------------------------------------------------------------------
 
@@ -829,6 +937,10 @@ const std::vector<RuleInfo> kRules = {
     {"exchange-invariant",
      "in src/sim, cross-shard arena/frontier writes must go through the "
      "sync::Exchange primitives (canonical ascending-sender delivery)"},
+    {"provider-generic",
+     "a Graph& overload of a graph algorithm that also has an "
+     "AdjacencyProvider& overload must delegate through CsrAdjacency, not "
+     "reimplement the algorithm"},
 };
 
 }  // namespace
@@ -863,6 +975,7 @@ void run_file_rules(const FileIndex& fi, const RepoIndex* repo,
     rule_layering(ctx);
     rule_signature_contract_file(ctx);
     rule_exchange_invariant(ctx);
+    rule_provider_generic(ctx);
     if (fi.is_header) rule_sink_default(ctx);
   }
 }

@@ -14,6 +14,8 @@
 //   hbnet_cli analyze <m> <n> [--threads N] [--audit]
 //   hbnet_cli analyze <m> <n> --exact-connectivity [--checkpoint FILE]
 //                             [--threads N] [--metrics-out FILE]
+//                             [--sparsify] [--implicit] [--no-orbits]
+//                             [--max-blocks N]
 //   hbnet_cli wormhole <m> <n> [sim options]
 //   hbnet_cli sim <m> <n> [sim options]
 //   hbnet_cli campaign <m> <n> [campaign options]
@@ -63,6 +65,7 @@
 #include "obs/sink.hpp"
 #include "obs/snapshot.hpp"
 #include "par/pool.hpp"
+#include "topology/hb_implicit.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 #include "sim/wormhole.hpp"
@@ -89,8 +92,18 @@ int usage() {
          "                                 (--audit: verify Thm 5 on all pairs)\n"
          "  analyze <m> <n> --exact-connectivity [--checkpoint FILE]\n"
          "                  [--threads N] [--metrics-out FILE]\n"
+         "                  [--sparsify] [--implicit] [--no-orbits]\n"
+         "                  [--max-blocks N]\n"
          "                                 checkpointed Even-Tarjan sweep\n"
          "                                 proving kappa(HB(m,n)) = m+4\n"
+         "                                 --sparsify: run flows on\n"
+         "                                 Nagamochi-Ibaraki certificates\n"
+         "                                 --implicit: generator-arithmetic\n"
+         "                                 adjacency, no materialized CSR\n"
+         "                                 --no-orbits: disable the cube-\n"
+         "                                 permutation target reduction\n"
+         "                                 --max-blocks: stop after N blocks\n"
+         "                                 (resume via --checkpoint)\n"
          "  wormhole <m> <n> [options]     flit-level wormhole run on HB(m,n)\n"
          "  sim <m> <n> [options]          store-and-forward run on HB(m,n)\n"
          "  campaign <m> <n> [options]     deterministic fault-injection\n"
@@ -449,28 +462,60 @@ void print_node(const HyperButterfly& hb, HbNode v) {
   std::cout << "(" << v.cube << ",'" << hb.butterfly().label(v.bfly) << "')";
 }
 
+/// Mode switches for `analyze --exact-connectivity`.
+struct ExactFlags {
+  std::string checkpoint;
+  std::string metrics_out;
+  bool sparsify = false;   // run flows on Nagamochi-Ibaraki certificates
+  bool implicit = false;   // generator-arithmetic adjacency, no CSR build
+  bool orbits = true;      // cube-permutation target reduction
+  std::uint64_t max_blocks = 0;  // 0 = run to completion
+};
+
 /// `analyze --exact-connectivity`: checkpointed Even-Tarjan sweep over the
-/// constructed HB(m,n) graph, single-source schedule (HB is a Cayley graph,
-/// hence vertex transitive). Exit 0 only when the proven kappa equals the
+/// HB(m,n) graph, single-source schedule (HB is a Cayley graph, hence
+/// vertex transitive). Exit 0 only when the proven kappa equals the
 /// Corollary-1 value m+4.
-int run_exact_connectivity(const HyperButterfly& hb,
-                           const std::string& checkpoint,
-                           const std::string& metrics_out,
+int run_exact_connectivity(const HyperButterfly& hb, const ExactFlags& ef,
                            const SimFlags& stream_flags) {
-  hbnet::Graph g = hb.to_graph();
+  const unsigned m = hb.cube_dimension();
+  const unsigned n = hb.butterfly_dimension();
   hbnet::obs::MetricsRegistry metrics;
   hbnet::par::ThreadPool probe;
-  std::cout << "exact connectivity HB(" << hb.cube_dimension() << ","
-            << hb.butterfly_dimension() << ")  " << g.num_nodes()
-            << " nodes, " << g.num_edges() << " edges  (" << probe.size()
-            << " threads)\n";
+
+  // Adjacency mode: materialized CSR (default) or generator arithmetic
+  // (--implicit, O(1) memory for the topology itself).
+  std::optional<hbnet::Graph> g;
+  std::optional<hbnet::CsrAdjacency> csr;
+  std::optional<hbnet::HbImplicitAdjacency> implicit;
+  const hbnet::AdjacencyProvider* adj = nullptr;
+  if (ef.implicit) {
+    adj = &implicit.emplace(m, n);
+  } else {
+    g.emplace(hb.to_graph());
+    adj = &csr.emplace(*g);
+  }
+  std::cout << "exact connectivity HB(" << m << "," << n << ")  "
+            << adj->num_nodes() << " nodes, " << adj->num_edges()
+            << " edges  (" << probe.size() << " threads, adjacency "
+            << adj->describe() << (ef.sparsify ? ", sparsify" : "")
+            << (ef.orbits ? ", orbit schedule" : "") << ")\n";
 
   Streaming streaming;
   streaming.start(stream_flags, "connectivity");
 
   hbnet::SweepOptions opts;
   opts.vertex_transitive = true;  // Cayley graph: single-source is exact
-  opts.checkpoint_path = checkpoint;
+  opts.sparsify = ef.sparsify;
+  opts.max_blocks = ef.max_blocks;
+  if (ef.orbits) {
+    // Cube-bit permutations are automorphisms fixing vertex 0, so targets
+    // collapse to one representative per cube popcount class.
+    opts.orbit_rep = [m, n](hbnet::NodeId v) {
+      return hbnet::hb_cube_orbit_representative(m, n, v);
+    };
+  }
+  opts.checkpoint_path = ef.checkpoint;
   opts.metrics = &metrics;
   opts.progress = streaming.board_or_null();
   opts.on_block = [](const hbnet::SweepState& st,
@@ -479,10 +524,10 @@ int run_exact_connectivity(const HyperButterfly& hb,
               << "/" << stage_blocks << "  bound " << st.bound << "  solves "
               << st.solves << "  pruned " << st.pruned << "\n";
   };
-  hbnet::ConnectivitySweep sweep(g, opts);
+  hbnet::ConnectivitySweep sweep(*adj, opts);
   if (sweep.resumed()) {
     const hbnet::SweepState& st = sweep.state();
-    std::cout << "  resumed from " << checkpoint << " at stage "
+    std::cout << "  resumed from " << ef.checkpoint << " at stage "
               << st.stages_done << " block " << st.blocks_done << " (solves "
               << st.solves << ", pruned " << st.pruned << ")\n";
   } else if (!sweep.resume_note().empty()) {
@@ -496,17 +541,19 @@ int run_exact_connectivity(const HyperButterfly& hb,
           .count();
   streaming.stop();
 
-  if (!metrics_out.empty()) {
-    std::ofstream os(metrics_out);
+  if (!ef.metrics_out.empty()) {
+    std::ofstream os(ef.metrics_out);
     if (!os) {
-      std::cerr << "cannot open " << metrics_out << "\n";
+      std::cerr << "cannot open " << ef.metrics_out << "\n";
       return 1;
     }
     metrics.write_json(os);
     os << '\n';
-    std::cout << "  metrics: " << metrics_out << "\n";
+    std::cout << "  metrics: " << ef.metrics_out << "\n";
   }
-  if (!checkpoint.empty()) std::cout << "  checkpoint: " << checkpoint << "\n";
+  if (!ef.checkpoint.empty()) {
+    std::cout << "  checkpoint: " << ef.checkpoint << "\n";
+  }
   if (!r.complete) {
     std::cout << "  stopped before completion (resume with the same "
                  "--checkpoint file)\n";
@@ -664,7 +711,7 @@ int run(int argc, char** argv) {
   if (cmd == "analyze") {
     bool audit = false;
     bool exact = false;
-    std::string checkpoint, metrics_out;
+    ExactFlags exact_flags;
     SimFlags stream_flags;
     for (int i = 4; i < argc; ++i) {
       const std::string a = argv[i];
@@ -678,12 +725,23 @@ int run(int argc, char** argv) {
         audit = true;
       } else if (a == "--exact-connectivity") {
         exact = true;
+      } else if (a == "--sparsify") {
+        exact_flags.sparsify = true;
+      } else if (a == "--implicit") {
+        exact_flags.implicit = true;
+      } else if (a == "--no-orbits") {
+        exact_flags.orbits = false;
+      } else if (a == "--max-blocks" && i + 1 < argc) {
+        if (!parse_flag_u64("--max-blocks", argv[++i],
+                            exact_flags.max_blocks)) {
+          return usage();
+        }
       } else if (a == "--progress") {
         stream_flags.progress = true;
       } else if (a == "--checkpoint" && i + 1 < argc) {
-        checkpoint = argv[++i];
+        exact_flags.checkpoint = argv[++i];
       } else if (a == "--metrics-out" && i + 1 < argc) {
-        metrics_out = argv[++i];
+        exact_flags.metrics_out = argv[++i];
       } else if (a == "--stream-out" && i + 1 < argc) {
         stream_flags.stream_out = argv[++i];
       } else if (a == "--prom-out" && i + 1 < argc) {
@@ -699,8 +757,7 @@ int run(int argc, char** argv) {
       }
     }
     if (exact) {
-      return run_exact_connectivity(hb, checkpoint, metrics_out,
-                                    stream_flags);
+      return run_exact_connectivity(hb, exact_flags, stream_flags);
     }
     hbnet::par::ThreadPool probe;
     hbnet::Graph g = hb.to_graph();
