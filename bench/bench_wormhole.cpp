@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "obs/sink.hpp"
 #include "sim/wormhole.hpp"
 
@@ -92,7 +94,7 @@ void hb_link_utilization() {
   cfg.measure_cycles = 400;
   cfg.drain_cycles = 120000;
   hbnet::obs::Sink sink;
-  hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, 4, &sink);
+  hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, 4, nullptr, &sink);
   std::vector<hbnet::obs::LinkStats> links = sink.links();
   std::sort(links.begin(), links.end(),
             [](const hbnet::obs::LinkStats& a, const hbnet::obs::LinkStats& b) {
@@ -144,8 +146,8 @@ void BM_WormholeHeavyLoad(benchmark::State& state) {
   std::uint64_t delivered = 0;
   for (auto _ : state) {
     hbnet::obs::Sink sink;
-    hbnet::WormholeStats s =
-        hbnet::run_wormhole(*topo, cfg, 5, with_sink ? &sink : nullptr);
+    hbnet::WormholeStats s = hbnet::run_wormhole(
+        *topo, cfg, 5, nullptr, with_sink ? &sink : nullptr);
     delivered = s.packets.delivered();
     benchmark::DoNotOptimize(s);
   }
@@ -155,6 +157,45 @@ BENCHMARK(BM_WormholeHeavyLoad)
     ->Arg(0)
     ->Arg(1)
     ->ArgNames({"sink"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Fault-adaptive datapath benchmark: HB(2,3) under arg 0 static node
+/// faults with the Theorem-5 online re-planner and the escape VC class.
+/// arg 0 = 0 is the fault-free adaptive baseline (idle escape class);
+/// arg 0 = 5 is the m+3 guarantee bound. The delivered/misroutes/
+/// unroutable counters land in BENCH_wormhole.json so the bench gate can
+/// watch the fault columns alongside the runtimes.
+void BM_WormholeFaultAdaptive(benchmark::State& state) {
+  auto topo = hbnet::make_hyper_butterfly_sim(2, 3);
+  hbnet::WormholeConfig cfg;
+  cfg.vcs = hbnet::vc_classes(hbnet::VcPolicy::kFaultAdaptive);
+  cfg.policy = hbnet::VcPolicy::kFaultAdaptive;
+  cfg.injection_rate = 0.05;
+  cfg.warmup_cycles = 100;
+  cfg.measure_cycles = 2000;
+  cfg.drain_cycles = 120000;
+  const unsigned fault_count = static_cast<unsigned>(state.range(0));
+  hbnet::WormholeFaults wf;
+  if (fault_count > 0) {
+    wf.nodes.assign(topo->num_nodes(), 0);
+    const std::vector<std::uint32_t> dead =
+        hbnet::campaign::derived_fault_nodes(1234, topo->num_nodes(),
+                                             fault_count);
+    for (const std::uint32_t v : dead) wf.nodes[v] = 1;
+  }
+  hbnet::WormholeStats s;
+  for (auto _ : state) {
+    s = hbnet::run_wormhole(*topo, cfg, 3, wf.any() ? &wf : nullptr);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["delivered"] = static_cast<double>(s.packets.delivered());
+  state.counters["misroutes"] = static_cast<double>(s.misroutes);
+  state.counters["unroutable"] = static_cast<double>(s.unroutable);
+}
+BENCHMARK(BM_WormholeFaultAdaptive)
+    ->Arg(0)
+    ->Arg(5)
+    ->ArgNames({"faults"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

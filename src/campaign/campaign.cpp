@@ -24,6 +24,7 @@ namespace {
 constexpr std::uint64_t kStreamSimSeed = 0;
 constexpr std::uint64_t kStreamFaults = 1;
 constexpr std::uint64_t kStreamShuffle = 2;
+constexpr std::uint64_t kStreamLinkPick = 3;
 
 /// Latency histogram key the engine's simulator registers in its sink.
 const char* latency_metric(Engine engine) {
@@ -42,26 +43,6 @@ obs::LabelSet cell_labels(const TrialSpec& spec) {
   return {{"model", fault_model_name(spec.model)},
           {"rate", format_rate(spec.rate)},
           {"faults", std::to_string(spec.fault_count)}};
-}
-
-/// `count` distinct node ids derived from the trial's fault stream: a
-/// partial Fisher-Yates shuffle whose swap indices come straight from the
-/// splittable counter (portable across standard libraries, unlike
-/// std::uniform_int_distribution).
-std::vector<std::uint32_t> derived_fault_nodes(std::uint64_t fault_seed,
-                                               std::uint32_t num_nodes,
-                                               unsigned count) {
-  HBNET_DCHECK(count < num_nodes);
-  std::vector<std::uint32_t> ids(num_nodes);
-  std::iota(ids.begin(), ids.end(), 0u);
-  for (unsigned e = 0; e < count; ++e) {
-    const std::uint64_t r = split_seed(fault_seed, e, kStreamShuffle);
-    const std::uint32_t j =
-        e + static_cast<std::uint32_t>(r % (num_nodes - e));
-    std::swap(ids[e], ids[j]);
-  }
-  ids.resize(count);
-  return ids;
 }
 
 std::vector<char> static_fault_mask(const CampaignConfig& config,
@@ -115,9 +96,20 @@ void run_trial(const SimTopology& topo, const CampaignConfig& config,
     WormholeConfig cfg = config.wormhole;
     cfg.injection_rate = spec.rate;
     cfg.seed = spec.seed;
+    WormholeFaults wf;
+    if (spec.fault_count > 0) {
+      if (spec.model == FaultModel::kLinks) {
+        wf.links = derived_fault_links(
+            split_seed(config.seed, spec.index, kStreamFaults), topo,
+            spec.fault_count);
+      } else {
+        wf.nodes = static_fault_mask(config, spec, ranking, topo.num_nodes());
+      }
+    }
     // The butterfly level coordinate is node id mod n (the dateline ring
     // arity), exactly as the CLI wormhole command passes it.
-    const WormholeStats s = run_wormhole(topo, cfg, config.n, &sink);
+    const WormholeStats s =
+        run_wormhole(topo, cfg, config.n, wf.any() ? &wf : nullptr, &sink);
     out.injected = s.packets.injected();
     out.delivered = s.packets.delivered();
     out.dropped = s.packets.dropped();
@@ -152,6 +144,8 @@ const char* fault_model_name(FaultModel model) {
       return "adversarial";
     case FaultModel::kEvents:
       return "events";
+    case FaultModel::kLinks:
+      return "links";
   }
   return "?";
 }
@@ -160,6 +154,7 @@ std::optional<FaultModel> fault_model_from_name(std::string_view name) {
   if (name == "random") return FaultModel::kRandom;
   if (name == "adversarial") return FaultModel::kAdversarial;
   if (name == "events") return FaultModel::kEvents;
+  if (name == "links") return FaultModel::kLinks;
   return std::nullopt;
 }
 
@@ -193,6 +188,41 @@ std::uint64_t split_seed(std::uint64_t seed, std::uint64_t index,
   z *= 0x94d049bb133111ebull;
   z ^= z >> 31;
   return z;
+}
+
+std::vector<std::uint32_t> derived_fault_nodes(std::uint64_t fault_seed,
+                                               std::uint32_t num_nodes,
+                                               unsigned count) {
+  HBNET_DCHECK(count < num_nodes);
+  std::vector<std::uint32_t> ids(num_nodes);
+  std::iota(ids.begin(), ids.end(), 0u);
+  for (unsigned e = 0; e < count; ++e) {
+    const std::uint64_t r = split_seed(fault_seed, e, kStreamShuffle);
+    const std::uint32_t j =
+        e + static_cast<std::uint32_t>(r % (num_nodes - e));
+    std::swap(ids[e], ids[j]);
+  }
+  ids.resize(count);
+  return ids;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> derived_fault_links(
+    std::uint64_t fault_seed, const SimTopology& topo, unsigned count) {
+  // Distinct sources guarantee distinct directed links even when two picks
+  // land on the same neighbor index.
+  const std::vector<std::uint32_t> srcs =
+      derived_fault_nodes(fault_seed, topo.num_nodes(), count);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  links.reserve(srcs.size());
+  for (unsigned e = 0; e < srcs.size(); ++e) {
+    const std::vector<std::uint32_t> nbrs = topo.neighbors(srcs[e]);
+    HBNET_CHECK_MSG(!nbrs.empty(),
+                    "derived_fault_links: topology exposes no adjacency");
+    const std::uint64_t r = split_seed(fault_seed, e, kStreamLinkPick);
+    links.emplace_back(srcs[e],
+                       nbrs[static_cast<std::size_t>(r % nbrs.size())]);
+  }
+  return links;
 }
 
 std::vector<std::uint32_t> adversarial_fault_ranking(unsigned m, unsigned n) {
@@ -269,9 +299,10 @@ std::vector<TrialSpec> enumerate_trials(const CampaignConfig& config) {
   if (config.engine == Engine::kWormhole) {
     // Caught here so the failure is a clean exception on the calling
     // thread; run_wormhole's own throw would escape a pool worker. The
-    // validator names the per-policy VC minimum, so the vcs = 2 header
-    // default being rejected by the segment-dateline default is
-    // self-explanatory.
+    // validator derives the per-policy VC minimum from vc_classes(), so a
+    // config whose vcs undercuts its policy (e.g. the WormholeConfig{}
+    // default vcs = 2 with any dateline policy) gets a self-explanatory
+    // message.
     if (const std::string err = validate_wormhole_config(config.wormhole);
         !err.empty()) {
       throw std::invalid_argument("campaign: " + err);
@@ -279,16 +310,37 @@ std::vector<TrialSpec> enumerate_trials(const CampaignConfig& config) {
   }
   // Validates m/n too (the constructor throws on an invalid instance).
   const HyperButterfly hb(config.m, config.n);
+  bool any_faults = false;
   for (unsigned k : config.fault_counts) {
     if (k >= hb.num_nodes()) {
       throw std::invalid_argument(
           "campaign: fault count must be below num_nodes");
     }
-    if (config.engine == Engine::kWormhole && k != 0) {
+    any_faults = any_faults || k != 0;
+  }
+  // Engine/model compatibility, still on the calling thread: a simulator
+  // throw inside a pool worker would terminate the process.
+  for (FaultModel model : config.models) {
+    if (config.engine == Engine::kWormhole && model == FaultModel::kEvents) {
       throw std::invalid_argument(
-          "campaign: the wormhole engine takes no fault mask; use fault "
-          "count 0");
+          "campaign: the events fault model is store-and-forward only; the "
+          "wormhole engine takes static node (random/adversarial) or links "
+          "faults");
     }
+    if (config.engine == Engine::kStoreForward &&
+        model == FaultModel::kLinks) {
+      throw std::invalid_argument(
+          "campaign: the links fault model is wormhole-only (the "
+          "store-and-forward engine models node faults)");
+    }
+  }
+  if (config.engine == Engine::kWormhole && any_faults &&
+      config.wormhole.policy != VcPolicy::kFaultAdaptive) {
+    throw std::invalid_argument(
+        "campaign: wormhole fault injection requires the 'adaptive' VC "
+        "policy (its online re-planner needs the reserved escape class; "
+        "set wormhole.policy = VcPolicy::kFaultAdaptive with vcs >= " +
+        std::to_string(vc_classes(VcPolicy::kFaultAdaptive)) + ")");
   }
 
   std::vector<TrialSpec> specs;
@@ -398,14 +450,19 @@ CampaignResult run_campaign(const CampaignConfig& config,
       });
 
   // Serial reduction in trial order. Gauges describing a stuck state fold
-  // with max ("did any trial deadlock"); everything else keeps the
-  // incoming value, which equals last-trial-wins under this order.
+  // with max ("did any trial deadlock"), per-trial unroutable-worm counts
+  // fold with sum; everything else keeps the incoming value, which equals
+  // last-trial-wins under this order.
   CampaignResult out;
   obs::MergeOptions merge_options;
   merge_options.gauge_policy = [](const std::string& key) {
-    return key.find(".deadlocked") != std::string::npos
-               ? obs::GaugeMerge::kMax
-               : obs::GaugeMerge::kLast;
+    if (key.find(".deadlocked") != std::string::npos) {
+      return obs::GaugeMerge::kMax;
+    }
+    if (key.find(".unroutable") != std::string::npos) {
+      return obs::GaugeMerge::kSum;
+    }
+    return obs::GaugeMerge::kLast;
   };
   for (std::size_t i = 0; i < specs.size(); ++i) {
     merge_options.extra_labels = cell_labels(specs[i]);

@@ -19,9 +19,17 @@
 //                    run_simulation);
 //  * kEvents      -- `fault_count` mid-run node deaths spread across the
 //                    measurement window
-//                    (run_simulation_with_fault_events).
-// The wormhole engine takes no fault mask, so wormhole campaigns sweep
-// seeds and rates only (fault_counts must be {0}).
+//                    (run_simulation_with_fault_events; store-and-forward
+//                    engine only);
+//  * kLinks       -- `fault_count` distinct *directed* link faults: sources
+//                    from the trial's fault stream, the outgoing edge from
+//                    an independent stream over the node's neighbor list
+//                    (wormhole engine only).
+// Both engines take static fault masks. The wormhole engine requires
+// VcPolicy::kFaultAdaptive for any nonzero fault count (the online
+// re-planner needs the reserved escape VC class); enumerate_trials
+// enforces this on the calling thread so run_wormhole can never throw
+// inside a pool worker.
 //
 // Determinism contract (the same one hbnet::par establishes): the campaign
 // result -- merged metrics JSON, CSV, per-cell table -- is a pure function
@@ -42,6 +50,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -54,7 +63,7 @@ class ProgressBoard;
 
 namespace hbnet::campaign {
 
-enum class FaultModel { kRandom, kAdversarial, kEvents };
+enum class FaultModel { kRandom, kAdversarial, kEvents, kLinks };
 enum class Engine { kStoreForward, kWormhole };
 
 [[nodiscard]] const char* fault_model_name(FaultModel model);
@@ -75,10 +84,13 @@ struct CampaignConfig {
   std::uint64_t seed = 1;  // campaign master seed; everything derives here
   // Base simulator configs; injection_rate and seed are overridden per
   // trial, the rest (cycles, pattern, VCs, ...) apply to every trial. The
-  // wormhole default bumps vcs to what the default segment-dateline policy
-  // needs.
+  // wormhole default uses the fault-adaptive policy with exactly its
+  // vc_classes() minimum, so fault-injecting wormhole campaigns work out
+  // of the box (and fault-free ones behave like segment-dateline with one
+  // idle escape class).
   SimConfig sim;
-  WormholeConfig wormhole = {.vcs = 6};
+  WormholeConfig wormhole = {.vcs = vc_classes(VcPolicy::kFaultAdaptive),
+                             .policy = VcPolicy::kFaultAdaptive};
   unsigned threads = 0;  // hbnet::par resolution: 0 = default_threads()
 };
 
@@ -130,6 +142,23 @@ struct CampaignResult {
                                        std::uint64_t index,
                                        std::uint64_t stream);
 
+/// `count` distinct node ids derived from `fault_seed`: a partial
+/// Fisher-Yates shuffle whose swap indices come straight from the
+/// splittable counter (portable across standard libraries, unlike
+/// std::uniform_int_distribution). Public so the CLI wormhole command
+/// derives standalone fault sets exactly the way campaign trials do.
+[[nodiscard]] std::vector<std::uint32_t> derived_fault_nodes(
+    std::uint64_t fault_seed, std::uint32_t num_nodes, unsigned count);
+
+/// `count` distinct *directed* link faults on `topo`: the sources are
+/// derived_fault_nodes(fault_seed, ...), and each source's faulted outgoing
+/// edge is picked from its neighbor list by an independent stream of the
+/// same splittable counter. Requires the adapter to expose adjacency
+/// (SimTopology::neighbors).
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+derived_fault_links(std::uint64_t fault_seed, const SimTopology& topo,
+                    unsigned count);
+
 /// The adversarial fault ranking of HB(m,n): node ids adjacent to the
 /// narrowest balanced dimension cut (analysis/cuts), ordered by how many
 /// crossing edges they touch (descending, ties by id). The length-k prefix
@@ -140,7 +169,11 @@ struct CampaignResult {
 /// The campaign's deterministic trial enumeration: models x rates x
 /// fault_counts x repeats, with derived seeds filled in. Throws
 /// std::invalid_argument on a malformed config (empty grid axes, zero
-/// trials, wormhole with nonzero fault counts, fault count >= num nodes).
+/// trials, fault count >= num nodes, an engine/model mismatch -- events is
+/// store-and-forward only, links is wormhole only -- or a fault-injecting
+/// wormhole grid without the fault-adaptive policy). All validation happens
+/// here, on the calling thread: a simulator throw inside a pool worker
+/// would terminate the process.
 [[nodiscard]] std::vector<TrialSpec> enumerate_trials(
     const CampaignConfig& config);
 

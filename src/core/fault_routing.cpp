@@ -28,11 +28,13 @@ void report(obs::Sink* sink, const HyperButterfly& hb, HbNode u, HbNode v,
        {"hops", r.path.empty() ? 0 : r.path.size() - 1}});
 }
 
-}  // namespace
-
-FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
-                                     HbNode v, const HbFaultSet& faults,
-                                     bool bfs_fallback, obs::Sink* sink) {
+/// Shared core of both route_around_faults overloads. `banned_first` may be
+/// null (no link bans); when set, the BFS fallback is unavailable because the
+/// reference search cannot honor per-edge bans.
+FaultRouteResult route_around_faults_impl(const HyperButterfly& hb, HbNode u,
+                                          HbNode v, const HbFaultSet& faults,
+                                          const std::vector<HbNode>* banned_first,
+                                          bool bfs_fallback, obs::Sink* sink) {
   FaultRouteResult r;
   if (faults.contains(hb, u) || faults.contains(hb, v)) {
     report(sink, hb, u, v, r);
@@ -50,11 +52,16 @@ FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
   for (const auto& path : family) {
     ++r.paths_tried;
     bool clean = true;
-    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-      if (faults.contains(hb, path[i])) {
-        clean = false;
-        break;
+    if (banned_first != nullptr && path.size() > 1) {
+      for (const HbNode& b : *banned_first) {
+        if (path[1] == b) {
+          clean = false;
+          break;
+        }
       }
+    }
+    for (std::size_t i = 1; clean && i + 1 < path.size(); ++i) {
+      if (faults.contains(hb, path[i])) clean = false;
     }
     if (clean) {
       r.path = path;
@@ -70,6 +77,23 @@ FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
   }
   report(sink, hb, u, v, r);
   return r;
+}
+
+}  // namespace
+
+FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
+                                     HbNode v, const HbFaultSet& faults,
+                                     bool bfs_fallback, obs::Sink* sink) {
+  return route_around_faults_impl(hb, u, v, faults, /*banned_first=*/nullptr,
+                                  bfs_fallback, sink);
+}
+
+FaultRouteResult route_around_faults(const HyperButterfly& hb, HbNode u,
+                                     HbNode v, const HbFaultSet& faults,
+                                     const std::vector<HbNode>& banned_first,
+                                     obs::Sink* sink) {
+  return route_around_faults_impl(hb, u, v, faults, &banned_first,
+                                  /*bfs_fallback=*/false, sink);
 }
 
 }  // namespace hbnet

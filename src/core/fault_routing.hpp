@@ -42,4 +42,16 @@ struct FaultRouteResult {
                                                    bool bfs_fallback = true,
                                                    obs::Sink* sink = nullptr);
 
+/// Like route_around_faults, but additionally refuses any family member whose
+/// first hop is a node in `banned_first` — the online wormhole router uses
+/// this to avoid faulted *links* out of u that are not node faults. Because
+/// the Theorem-5 family is internally vertex-disjoint, at most one member
+/// leaves u through any given first edge, so each banned link costs at most
+/// one candidate and the m+4-wide family still guarantees a survivor while
+/// |node faults| + |banned links| <= m+3. Family-only: the BFS reference
+/// cannot honor per-edge bans, so there is no fallback.
+[[nodiscard]] FaultRouteResult route_around_faults(
+    const HyperButterfly& hb, HbNode u, HbNode v, const HbFaultSet& faults,
+    const std::vector<HbNode>& banned_first, obs::Sink* sink = nullptr);
+
 }  // namespace hbnet

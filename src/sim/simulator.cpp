@@ -80,6 +80,22 @@ struct SfTelemetry {
     }
     HBNET_TRACE_COUNTER(sink, "in_flight_packets", 0, cycle, in_flight);
   }
+  // Routing-drop causes, counted separately so a dropped-by-design packet
+  // (faults really disconnect the pair: kNoPath) is distinguishable from a
+  // misconfigured run (the adapter has no fault-tolerant algorithm at all:
+  // kUnsupported). Bumped exactly when the matching record_drop() happens in
+  // a routing decision; fault-event queue losses are neither.
+  std::uint64_t dropped_unroutable = 0;
+  std::uint64_t dropped_unsupported = 0;
+
+  void on_route_drop(FaultRouteStatus status) {
+    if (status == FaultRouteStatus::kUnsupported) {
+      ++dropped_unsupported;
+    } else {
+      ++dropped_unroutable;
+    }
+  }
+
   void finish(std::uint64_t cycles, const SimStats& stats) {
     if (sink == nullptr) return;
     sink->set_run_cycles(cycles);
@@ -105,6 +121,8 @@ struct SfTelemetry {
     reg.counter("sim.injected").inc(stats.injected());
     reg.counter("sim.delivered").inc(stats.delivered());
     reg.counter("sim.dropped").inc(stats.dropped());
+    reg.counter("sim.dropped_unroutable").inc(dropped_unroutable);
+    reg.counter("sim.dropped_unsupported").inc(dropped_unsupported);
     reg.counter("sim.packet_moves").inc(moves_total);
     reg.counter("sim.cycles").inc(cycles);
     reg.histogram("sim.packet_latency").merge(stats.latency_histogram());
@@ -150,14 +168,16 @@ SimStats run_simulation(const SimTopology& topo, const SimConfig& config,
         if (have_faults && faulty[dst]) continue;  // dead destination
         Packet pkt;
         if (have_faults) {
-          pkt.path = topo.route_avoiding(src, dst, faulty);
-          if (pkt.path.empty()) {
+          SimFaultRoute r = topo.route_avoiding(src, dst, faulty);
+          if (!r.ok()) {
             if (measuring) {
               stats.record_injection();
               stats.record_drop();
+              telem.on_route_drop(r.status);
             }
             continue;
           }
+          pkt.path = std::move(r.path);
         } else if (config.routing == RoutingMode::kValiant && src != dst) {
           // Valiant two-phase routing: src -> random intermediate -> dst.
           std::uniform_int_distribution<std::uint32_t> mid(0, n - 1);
@@ -280,11 +300,13 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
         std::uint32_t dst = traffic.destination(src);
         if (faulty[dst]) continue;
         Packet pkt;
-        pkt.path = topo.route_avoiding(src, dst, faulty);
-        if (pkt.path.empty()) {
-          // Fall back to the native route when no faults are known yet (or
-          // the adapter lacks fault routing): drops are then counted below
-          // when the packet actually hits a dead hop.
+        SimFaultRoute planned = topo.route_avoiding(src, dst, faulty);
+        if (planned.ok()) {
+          pkt.path = std::move(planned.path);
+        } else {
+          // Fall back to the native route when no surviving path is known
+          // yet (or the adapter lacks fault routing): drops are then counted
+          // below when the packet actually hits a dead hop.
           pkt.path = topo.route(src, dst);
         }
         pkt.injected_at = cycle;
@@ -309,15 +331,23 @@ SimStats run_simulation_with_fault_events(const SimTopology& topo,
         if (faulty[next]) {
           // Online repair: re-source-route from here around the faults.
           std::uint32_t dst = pkt.path.back();
-          std::vector<std::uint32_t> repaired =
-              faulty[dst] ? std::vector<std::uint32_t>{}
-                          : topo.route_avoiding(v, dst, faulty);
-          if (repaired.size() <= 1) {
-            if (pkt.measured) stats.record_drop();
+          SimFaultRoute repaired;
+          if (faulty[dst]) {
+            // A dead destination is unroutable by design, not an adapter
+            // limitation.
+            repaired.status = FaultRouteStatus::kNoPath;
+          } else {
+            repaired = topo.route_avoiding(v, dst, faulty);
+          }
+          if (!repaired.ok() || repaired.path.size() <= 1) {
+            if (pkt.measured) {
+              stats.record_drop();
+              telem.on_route_drop(repaired.status);
+            }
             --in_flight;
             continue;
           }
-          pkt.path = std::move(repaired);
+          pkt.path = std::move(repaired.path);
           pkt.hop = 0;
           next = pkt.path[1];
         }

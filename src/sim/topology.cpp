@@ -126,19 +126,41 @@ class HyperButterflySim final : public SimTopology {
     }
     return out;
   }
-  [[nodiscard]] std::vector<std::uint32_t> route_avoiding(
-      std::uint32_t src, std::uint32_t dst,
-      const std::vector<char>& faulty) const override {
+  [[nodiscard]] bool has_fault_routing() const override { return true; }
+  [[nodiscard]] std::vector<std::uint32_t> neighbors(
+      std::uint32_t v) const override {
+    std::vector<std::uint32_t> out;
+    for (const HbNode& w : hb_.neighbors(hb_.node_at(v))) {
+      out.push_back(static_cast<std::uint32_t>(hb_.index_of(w)));
+    }
+    return out;
+  }
+  using SimTopology::route_avoiding;
+  [[nodiscard]] SimFaultRoute route_avoiding(
+      std::uint32_t src, std::uint32_t dst, const std::vector<char>& faulty,
+      const std::vector<std::uint32_t>& banned_first_hops) const override {
     HbFaultSet faults;
     for (std::uint32_t id = 0; id < faulty.size(); ++id) {
       if (faulty[id]) faults.add(hb_, hb_.node_at(id));
     }
-    FaultRouteResult r = route_around_faults(hb_, hb_.node_at(src),
-                                             hb_.node_at(dst), faults,
-                                             /*bfs_fallback=*/false);
-    std::vector<std::uint32_t> out;
+    FaultRouteResult r;
+    if (banned_first_hops.empty()) {
+      r = route_around_faults(hb_, hb_.node_at(src), hb_.node_at(dst), faults,
+                              /*bfs_fallback=*/false);
+    } else {
+      std::vector<HbNode> banned;
+      banned.reserve(banned_first_hops.size());
+      for (std::uint32_t id : banned_first_hops) {
+        banned.push_back(hb_.node_at(id));
+      }
+      r = route_around_faults(hb_, hb_.node_at(src), hb_.node_at(dst), faults,
+                              banned);
+    }
+    SimFaultRoute out;
+    out.status = r.ok() ? FaultRouteStatus::kOk : FaultRouteStatus::kNoPath;
+    out.path.reserve(r.path.size());
     for (const HbNode& v : r.path) {
-      out.push_back(static_cast<std::uint32_t>(hb_.index_of(v)));
+      out.path.push_back(static_cast<std::uint32_t>(hb_.index_of(v)));
     }
     return out;
   }

@@ -21,6 +21,24 @@
 
 namespace hbnet {
 
+/// Outcome of a SimTopology::route_avoiding request. The simulators must
+/// distinguish "dropped by design: the faults really cut off this pair"
+/// (kNoPath) from "misconfigured run: the adapter has no fault-tolerant
+/// algorithm at all" (kUnsupported) — the two outcomes are counted under
+/// distinct metrics (sim.dropped_unroutable vs sim.dropped_unsupported).
+enum class FaultRouteStatus {
+  kOk,           // a path on the fault-free subnetwork was found
+  kNoPath,       // the adapter has fault routing, but no route survives
+  kUnsupported,  // the adapter has no fault-tolerant algorithm
+};
+
+/// Result of SimTopology::route_avoiding.
+struct SimFaultRoute {
+  FaultRouteStatus status = FaultRouteStatus::kUnsupported;
+  std::vector<std::uint32_t> path;  // non-empty iff status == kOk
+  [[nodiscard]] bool ok() const { return status == FaultRouteStatus::kOk; }
+};
+
 /// Abstract network as seen by the simulator. Node ids are dense.
 class SimTopology {
  public:
@@ -31,16 +49,36 @@ class SimTopology {
   /// Full route src -> dst (inclusive) using the network's own algorithm.
   [[nodiscard]] virtual std::vector<std::uint32_t> route(
       std::uint32_t src, std::uint32_t dst) const = 0;
-  /// Route avoiding faulty nodes; empty when the adapter has no
-  /// fault-tolerant algorithm or no path survives. `faulty` is indexed by
-  /// node id. Default: no support.
-  [[nodiscard]] virtual std::vector<std::uint32_t> route_avoiding(
-      std::uint32_t src, std::uint32_t dst,
-      const std::vector<char>& faulty) const {
+  /// True when the adapter implements a fault-tolerant routing algorithm,
+  /// i.e. route_avoiding can return something other than kUnsupported.
+  [[nodiscard]] virtual bool has_fault_routing() const { return false; }
+  /// Neighbors of `v` in the network's deterministic (generator/dimension)
+  /// order; empty when the adapter does not expose adjacency. Used to derive
+  /// link fault sets and by the online wormhole router's tests.
+  [[nodiscard]] virtual std::vector<std::uint32_t> neighbors(
+      std::uint32_t v) const {
+    (void)v;
+    return {};
+  }
+  /// Route src -> dst avoiding every node marked in `faulty` (indexed by
+  /// node id; may be shorter than num_nodes() — unmarked means healthy) and
+  /// never leaving src through an edge src -> b for b in `banned_first_hops`
+  /// (faulted outgoing *links* an online router has discovered). Default:
+  /// kUnsupported.
+  [[nodiscard]] virtual SimFaultRoute route_avoiding(
+      std::uint32_t src, std::uint32_t dst, const std::vector<char>& faulty,
+      const std::vector<std::uint32_t>& banned_first_hops) const {
     (void)src;
     (void)dst;
     (void)faulty;
+    (void)banned_first_hops;
     return {};
+  }
+  /// Convenience overload without link bans.
+  [[nodiscard]] SimFaultRoute route_avoiding(
+      std::uint32_t src, std::uint32_t dst,
+      const std::vector<char>& faulty) const {
+    return route_avoiding(src, dst, faulty, {});
   }
 };
 

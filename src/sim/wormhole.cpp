@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "check/check.hpp"
 #include "obs/progress.hpp"
@@ -20,8 +21,11 @@
 //  * VC buffers are fixed-capacity (buffer_depth) ring buffers carved out
 //    of one flat arena: slot (c, q, i) lives at ((c*vcs + q)*depth + i).
 //    No per-flit allocation, no deque churn; the arena only grows when a
-//    new channel is first registered (injection phase), never while the
-//    advance loop holds references.
+//    new channel is first registered -- at injection, or when the online
+//    fault re-planner splices a detour into a packet's route. The advance
+//    loop therefore works through indices (vi, c) that stay valid across
+//    growth and re-resolves the downstream channel after any re-plan
+//    instead of holding references into the arrays.
 //  * The advance loop walks an *active-channel worklist* instead of every
 //    channel: a channel is listed iff it holds at least one flit. The list
 //    is kept sorted ascending (the scan order of the original full sweep),
@@ -59,14 +63,18 @@ struct PktState {
   std::vector<std::uint8_t> cls;    // VC class per hop
   std::uint64_t injected_at = 0;
   std::uint16_t next_flit = 0;  // flits not yet streamed into hop 0
+  unsigned replans = 0;         // online fault re-plans consumed
   bool measured = false;
+  bool dead = false;  // killed as unroutable; buffered flits drain in place
 };
 
 /// Per-hop VC classes from the ring structure: direction of a hop is the
 /// +-1 movement of (id % arity); a direction reversal starts a new
 /// monotone segment; crossing the wrap edge bumps the within-segment
 /// dateline bit. Non-ring hops (cube edges: level unchanged) keep the
-/// current class and do not end a segment.
+/// current class and do not end a segment. kFaultAdaptive uses the same
+/// six segment-dateline base classes; its seventh (escape) class is never
+/// assigned here -- only the online re-planner places hops there.
 std::vector<std::uint8_t> hop_classes(const std::vector<std::uint32_t>& path,
                                       unsigned arity, VcPolicy policy) {
   std::vector<std::uint8_t> cls(path.size() - 1, 0);
@@ -95,7 +103,7 @@ std::vector<std::uint8_t> hop_classes(const std::vector<std::uint32_t>& path,
     if (policy == VcPolicy::kDateline) {
       cls[h] = static_cast<std::uint8_t>(wrapped ? 1 : 0);
       if (wrap) wrapped = 1;
-    } else {  // kSegmentDateline
+    } else {  // kSegmentDateline / kFaultAdaptive base classes
       unsigned seg_capped = segment > 2 ? 2 : segment;
       cls[h] = static_cast<std::uint8_t>(2 * seg_capped + wrapped);
       if (wrap) wrapped = 1;
@@ -114,6 +122,8 @@ const char* vc_policy_name(VcPolicy policy) {
       return "dateline";
     case VcPolicy::kSegmentDateline:
       return "segment";
+    case VcPolicy::kFaultAdaptive:
+      return "adaptive";
   }
   return "?";
 }
@@ -126,29 +136,83 @@ std::string validate_wormhole_config(const WormholeConfig& config) {
   }
   const unsigned need = vc_classes(config.policy);
   if (config.vcs < need) {
+    // The footnote is derived from vc_classes() over every policy, split by
+    // whether the default-constructed config's vcs covers it -- so adding a
+    // policy (or changing a minimum) can never leave this message stale.
+    const unsigned default_vcs = WormholeConfig{}.vcs;
+    std::string fits, needs_more;
+    for (VcPolicy p :
+         {VcPolicy::kAnyFree, VcPolicy::kDateline, VcPolicy::kSegmentDateline,
+          VcPolicy::kFaultAdaptive}) {
+      std::string& bucket = vc_classes(p) <= default_vcs ? fits : needs_more;
+      if (!bucket.empty()) bucket += "/";
+      bucket += std::string("'") + vc_policy_name(p) + "'";
+    }
     return std::string("wormhole config: policy '") +
            vc_policy_name(config.policy) + "' needs at least " +
            std::to_string(need) + " virtual channels, got " +
            std::to_string(config.vcs) +
-           " (note the WormholeConfig{} default vcs = 2 only suits "
-           "'any'/'dateline'; pass vcs explicitly for 'segment')";
+           " (note the WormholeConfig{} default vcs = " +
+           std::to_string(default_vcs) + " only suits " + fits +
+           "; pass vcs explicitly for " + needs_more + ")";
   }
   return {};
 }
 
 WormholeStats run_wormhole(const SimTopology& topo,
                            const WormholeConfig& config, unsigned ring_arity,
-                           obs::Sink* sink, obs::ProgressBoard* progress) {
+                           const WormholeFaults* faults, obs::Sink* sink,
+                           obs::ProgressBoard* progress) {
   if (const std::string err = validate_wormhole_config(config);
       !err.empty()) {
     throw std::invalid_argument("run_wormhole: " + err);
   }
   const std::uint32_t n = topo.num_nodes();
+  const bool have_faults = faults != nullptr && faults->any();
+  if (have_faults) {
+    if (config.policy != VcPolicy::kFaultAdaptive) {
+      throw std::invalid_argument(
+          "run_wormhole: a fault set requires the 'adaptive' policy (the "
+          "online re-planner needs the reserved escape VC class)");
+    }
+    if (!faults->nodes.empty() && faults->nodes.size() != n) {
+      throw std::invalid_argument(
+          "run_wormhole: node fault mask must be empty or num_nodes()");
+    }
+    for (const auto& [lu, lv] : faults->links) {
+      if (lu >= n || lv >= n) {
+        throw std::invalid_argument(
+            "run_wormhole: link fault endpoint out of range");
+      }
+    }
+  }
   const std::uint16_t flits =
       static_cast<std::uint16_t>(config.flits_per_packet);
   const unsigned classes = vc_classes(config.policy);
   const std::uint32_t vcs = config.vcs;
   const std::uint32_t depth = config.buffer_depth;
+  // Fault lookups. Node faults index the mask; link faults live in a hash
+  // set keyed by the packed directed edge (lookup only -- never iterated).
+  const std::vector<char> no_node_faults;
+  const std::vector<char>& node_fault =
+      have_faults ? faults->nodes : no_node_faults;
+  std::unordered_set<std::uint64_t> link_fault;
+  if (have_faults) {
+    for (const auto& [lu, lv] : faults->links) {
+      link_fault.insert((static_cast<std::uint64_t>(lu) << 32) | lv);
+    }
+  }
+  auto node_dead = [&](std::uint32_t v) {
+    return !node_fault.empty() && node_fault[v] != 0;
+  };
+  auto edge_blocked = [&](std::uint32_t u, std::uint32_t v) {
+    if (node_dead(v)) return true;
+    return !link_fault.empty() &&
+           link_fault.count((static_cast<std::uint64_t>(u) << 32) | v) != 0;
+  };
+  // The reserved escape class is always the highest one (only meaningful
+  // for kFaultAdaptive; unused otherwise).
+  const std::uint8_t escape_cls = static_cast<std::uint8_t>(classes - 1);
 
   WormholeStats stats;
   std::mt19937_64 rng(config.seed);
@@ -267,20 +331,89 @@ WormholeStats run_wormhole(const SimTopology& topo,
     return cls_of_q == p.cls[hop];
   };
 
+  // Per-cycle move counter, hoisted so the fault helpers below can count
+  // kills as progress; reset at the top of every cycle.
+  std::uint64_t moves = 0;
+
+  // Declares a worm unroutable: drop it from the stats, unblock its source
+  // queue if it was still streaming, and mark it dead so any buffered flits
+  // drain in place (the advance loop pops dead flits one per channel per
+  // cycle without forwarding them).
+  auto kill_worm = [&](PktState& p) {
+    p.dead = true;
+    ++stats.unroutable;
+    if (p.measured) stats.packets.record_drop();
+    HBNET_DCHECK(in_flight > 0);
+    --in_flight;
+    if (p.next_flit < flits) {
+      // Still streaming: the packet is by construction the front of its
+      // source queue; advance past it so later packets are not wedged.
+      const std::uint32_t src = p.path.front();
+      p.next_flit = flits;
+      if (++inject_head[src] == inject_q[src].size()) {
+        inject_q[src].clear();
+        inject_head[src] = 0;
+      }
+    }
+    // Killing is progress: a cycle that only killed worms must not trip
+    // the stall detector.
+    ++moves;
+  };
+
+  // Scratch for replan: the faulted outgoing links of the current node,
+  // passed as banned first hops so one re-plan clears them all at once
+  // (re-banning one link at a time could ping-pong).
+  std::vector<std::uint32_t> banned_scratch;
+  // Re-plans packet p from p.path[keep] to its destination around the
+  // static faults via the Theorem-5 alternatives; the replanned suffix runs
+  // entirely in the reserved escape class. May register new channels
+  // (growing the flat per-channel arrays), so callers re-resolve any
+  // downstream channel index afterwards. Returns false when the packet
+  // exhausted its misroute budget or no fault-free alternative exists; the
+  // caller then kills the worm.
+  auto replan = [&](PktState& p, std::size_t keep) -> bool {
+    if (p.replans >= config.misroute_limit) return false;
+    const std::uint32_t cur = p.path[keep];
+    const std::uint32_t dst = p.path.back();
+    banned_scratch.clear();
+    for (const auto& [lu, lv] : faults->links) {
+      if (lu == cur) banned_scratch.push_back(lv);
+    }
+    const SimFaultRoute r =
+        topo.route_avoiding(cur, dst, node_fault, banned_scratch);
+    if (!r.ok() || r.path.size() < 2) return false;
+    ++p.replans;
+    ++stats.misroutes;
+    stats.escape_hops += r.path.size() - 1;
+    p.path.resize(keep + 1);
+    p.chan.resize(keep);
+    p.cls.resize(keep);
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      p.path.push_back(r.path[i + 1]);
+      p.chan.push_back(channel(r.path[i], r.path[i + 1]));
+      p.cls.push_back(escape_cls);
+    }
+    return true;
+  };
+
   const std::uint64_t horizon =
       config.warmup_cycles + config.measure_cycles + config.drain_cycles;
   for (; cycle < horizon; ++cycle) {
     bool injecting = cycle < config.warmup_cycles + config.measure_cycles;
     bool measuring = cycle >= config.warmup_cycles && injecting;
-    std::uint64_t moves = 0;
+    moves = 0;
 
-    // 1. Packet creation. The only phase that can create channels (every
-    // channel of the route is registered here), so the flat arrays never
-    // grow while the advance loop runs.
+    // 1. Packet creation. Channels of the native route are registered here;
+    // the online re-planner (phases 2-3) is the only other channel creator.
+    // Faulty endpoints mirror the store-and-forward engine: a dead source
+    // never draws its injection coin, a packet to a dead destination is
+    // skipped after the destination draw, both uncounted.
     if (injecting) {
       for (std::uint32_t src = 0; src < n; ++src) {
+        if (have_faults && node_dead(src)) continue;
         if (coin(rng) >= config.injection_rate) continue;
         std::uint32_t dst = traffic.destination(src);
+        if (have_faults && node_dead(dst)) continue;  // dead destination
         PktState p;
         p.path = topo.route(src, dst);
         if (p.path.size() < 2) continue;
@@ -304,6 +437,16 @@ WormholeStats run_wormhole(const SimTopology& topo,
       if (inject_head[src] >= inject_q[src].size()) continue;
       std::uint32_t pid = inject_q[src][inject_head[src]];
       PktState& p = pkts[pid];
+      if (have_faults && p.next_flit == 0 &&
+          edge_blocked(p.path[0], p.path[1])) {
+        // Online discovery at hop-0 VC allocation: re-plan before the head
+        // flit ever enters the network, or kill the packet unrouted (no
+        // flits exist yet, so the kill only advances the queue).
+        if (!replan(p, 0)) {
+          kill_worm(p);
+          continue;
+        }
+      }
       const std::uint32_t c0 = p.chan[0];
       const std::size_t base0 = std::size_t{c0} * vcs;
       int vc_idx = -1;
@@ -345,18 +488,30 @@ WormholeStats run_wormhole(const SimTopology& topo,
       for (unsigned probe = 0; probe < vcs; ++probe) {
         unsigned q = (rr[c] + probe) % vcs;
         const std::size_t vi = base + q;
-        VcState& s = vc[vi];
-        if (s.count == 0) continue;
-        Flit f = arena[vi * depth + s.head];
+        // VC state is addressed through vc[vi] (not a held reference): the
+        // online re-planner below can register new channels and grow the
+        // array mid-iteration; the indices stay valid, references do not.
+        if (vc[vi].count == 0) continue;
+        Flit f = arena[vi * depth + vc[vi].head];
         if (f.last_move == cycle) continue;  // arrived this very cycle
         PktState& p = pkts[f.pkt];
+        if (p.dead) {
+          // Drain one flit of a killed worm in place: not a forward (the
+          // packet was dropped), but progress for the stall detector.
+          pop_flit(c, vi);
+          --buffered;
+          if (vc[vi].count == 0) vc[vi].owner = -1;
+          ++moves;
+          rr[c] = (q + 1) % vcs;
+          break;
+        }
         const bool last_hop = (f.hop + 2u == p.path.size());
         if (last_hop) {
           pop_flit(c, vi);
           --buffered;
           if (sink != nullptr) ++link_forwarded[c];
           if (f.index + 1u == flits) {
-            s.owner = -1;
+            vc[vi].owner = -1;
             HBNET_DCHECK(in_flight > 0);
             --in_flight;
             if (p.measured) {
@@ -375,8 +530,8 @@ WormholeStats run_wormhole(const SimTopology& topo,
           rr[c] = (q + 1) % vcs;
           break;
         }
-        const std::uint32_t c2 = p.chan[f.hop + 1];
-        const std::size_t base2 = std::size_t{c2} * vcs;
+        std::uint32_t c2 = p.chan[f.hop + 1];
+        std::size_t base2 = std::size_t{c2} * vcs;
         int vc2 = -1;
         for (unsigned r = 0; r < vcs; ++r) {
           if (vc[base2 + r].owner == f.pkt) {
@@ -385,6 +540,26 @@ WormholeStats run_wormhole(const SimTopology& topo,
           }
         }
         if (vc2 < 0 && f.index == 0) {
+          if (have_faults &&
+              edge_blocked(p.path[f.hop + 1], p.path[f.hop + 2])) {
+            // Online fault discovery at VC allocation: the head sits at
+            // p.path[f.hop + 1] and its planned next hop is faulted.
+            if (replan(p, f.hop + 1)) {
+              // The re-plan kept p.chan[0 .. f.hop] (this flit's channel
+              // included) and spliced a fresh escape-class suffix; it may
+              // have grown the VC arrays, so re-resolve the downstream
+              // channel before allocating.
+              c2 = p.chan[f.hop + 1];
+              base2 = std::size_t{c2} * vcs;
+            } else {
+              kill_worm(p);
+              pop_flit(c, vi);
+              --buffered;
+              if (vc[vi].count == 0) vc[vi].owner = -1;
+              rr[c] = (q + 1) % vcs;
+              break;
+            }
+          }
           for (unsigned r = 0; r < vcs; ++r) {
             if (vc[base2 + r].owner == -1 &&
                 vc_allowed(p, static_cast<std::uint16_t>(f.hop + 1), r)) {
@@ -394,12 +569,12 @@ WormholeStats run_wormhole(const SimTopology& topo,
             }
           }
         }
-        if (vc2 < 0 || vc[base2 + vc2].count >= depth) {
+        if (vc2 < 0 || vc[base2 + static_cast<unsigned>(vc2)].count >= depth) {
           continue;  // blocked; try another VC of this channel
         }
         pop_flit(c, vi);
         if (sink != nullptr) ++link_forwarded[c];
-        if (f.index + 1u == flits) s.owner = -1;  // tail frees upstream VC
+        if (f.index + 1u == flits) vc[vi].owner = -1;  // tail frees upstream
         push_flit(c2, base2 + static_cast<unsigned>(vc2),
                   {f.pkt, f.index, static_cast<std::uint16_t>(f.hop + 1),
                    cycle});
@@ -496,10 +671,15 @@ WormholeStats run_wormhole(const SimTopology& topo,
     obs::MetricsRegistry& reg = sink->metrics();
     reg.counter("wormhole.injected").inc(stats.packets.injected());
     reg.counter("wormhole.delivered").inc(stats.packets.delivered());
+    reg.counter("wormhole.dropped").inc(stats.packets.dropped());
     reg.counter("wormhole.flits_forwarded").inc(forwarded_total);
     reg.counter("wormhole.flit_cycles_buffered").inc(flit_cycles_buffered);
+    reg.counter("wormhole.misroutes").inc(stats.misroutes);
+    reg.counter("wormhole.escape_hops").inc(stats.escape_hops);
     reg.counter("wormhole.cycles").inc(stats.cycles);
     reg.gauge("wormhole.deadlocked").set(stats.deadlocked ? 1.0 : 0.0);
+    reg.gauge("wormhole.unroutable")
+        .set(static_cast<double>(stats.unroutable));
     reg.histogram("wormhole.packet_latency")
         .merge(stats.packets.latency_histogram());
   }

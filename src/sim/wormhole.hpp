@@ -25,6 +25,17 @@
 //    wrap at most once per segment; within a class every packet moves in
 //    one direction without wrap, making each class's dependency subgraph
 //    acyclic and the whole scheme deadlock free. Needs >= 6 VCs.
+//  * kFaultAdaptive -- the 6 segment-dateline classes plus one reserved
+//    *escape* class (Duato-style): a packet whose next hop is blocked by a
+//    static node/link fault re-plans the rest of its route online via the
+//    Theorem-5 disjoint-path alternatives (SimTopology::route_avoiding) and
+//    runs the replanned suffix entirely in the escape class, which routes
+//    minimally on the fault-free subnetwork. Needs >= 7 VCs. Required
+//    whenever a fault set is passed to run_wormhole.
+//
+// The minimum VC count for any policy is vc_classes(policy);
+// validate_wormhole_config derives its diagnostic from that function, so
+// policy minimums cannot drift out of sync with the implementation.
 //
 // Deadlock is detected operationally: if flits are in flight and nothing
 // moves for `deadlock_patience` cycles, the run aborts and reports it.
@@ -32,6 +43,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/sink.hpp"
@@ -45,9 +57,10 @@ namespace obs {
 class ProgressBoard;
 }
 
-enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline };
+enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline, kFaultAdaptive };
 
-/// Number of VC classes a policy distinguishes.
+/// Number of VC classes a policy distinguishes. This is also the minimum
+/// `vcs` the policy runs with (validate_wormhole_config enforces it).
 [[nodiscard]] constexpr unsigned vc_classes(VcPolicy policy) {
   switch (policy) {
     case VcPolicy::kAnyFree:
@@ -56,12 +69,26 @@ enum class VcPolicy { kAnyFree, kDateline, kSegmentDateline };
       return 2;
     case VcPolicy::kSegmentDateline:
       return 6;
+    case VcPolicy::kFaultAdaptive:
+      return 7;  // 6 segment-dateline classes + 1 reserved escape class
   }
   return 1;
 }
 
-/// The CLI spelling of a policy ("any" / "dateline" / "segment").
+/// The CLI spelling of a policy ("any" / "dateline" / "segment" /
+/// "adaptive").
 [[nodiscard]] const char* vc_policy_name(VcPolicy policy);
+
+/// Static fault set for the wormhole datapath. `nodes` is a per-node mask
+/// (empty, or exactly num_nodes() entries); `links` is a list of *directed*
+/// faulted channels (u, v) -- a link fault kills one direction only. Faults
+/// require VcPolicy::kFaultAdaptive (the online re-planner needs the
+/// reserved escape class to stay deadlock free).
+struct WormholeFaults {
+  std::vector<char> nodes;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> links;
+  [[nodiscard]] bool any() const { return !nodes.empty() || !links.empty(); }
+};
 
 struct WormholeConfig {
   unsigned vcs = 2;                 // virtual channels per physical channel
@@ -75,22 +102,29 @@ struct WormholeConfig {
   std::uint64_t seed = 42;
   TrafficPattern pattern = TrafficPattern::kUniform;
   VcPolicy policy = VcPolicy::kSegmentDateline;
+  unsigned misroute_limit = 32;  // online re-plans per packet before it is
+                                 // declared unroutable and killed
 };
 
 struct WormholeStats {
   SimStats packets;          // latency = head injection .. tail delivery
   bool deadlocked = false;   // aborted by the stall detector
   std::uint64_t cycles = 0;  // cycles actually simulated
+  std::uint64_t misroutes = 0;    // online re-plans around discovered faults
+  std::uint64_t escape_hops = 0;  // hops assigned to the escape VC class
+  std::uint64_t unroutable = 0;   // worms killed: no fault-free route left
 };
 
 /// Validates a WormholeConfig against its own policy: empty string when
 /// runnable, otherwise a diagnostic naming the minimum VC count for the
-/// chosen policy. Guards the classic footgun: WormholeConfig{} defaults
-/// to vcs = 2, which the default kSegmentDateline policy (6 classes)
-/// rejects -- callers sweeping policies must bump vcs accordingly (the
-/// campaign engine defaults its wormhole config to vcs = 6 for this
-/// reason). run_wormhole and campaign::enumerate_trials both throw
-/// std::invalid_argument with this message on a non-empty result.
+/// chosen policy (derived from vc_classes(policy), so the message can never
+/// disagree with the enforcement). Guards the classic footgun:
+/// WormholeConfig{} defaults to vcs = 2, which the default kSegmentDateline
+/// policy (6 classes) rejects -- callers sweeping policies must bump vcs
+/// accordingly (the campaign engine defaults its wormhole config to
+/// vcs = vc_classes(kFaultAdaptive) for this reason). run_wormhole and
+/// campaign::enumerate_trials both throw std::invalid_argument with this
+/// message on a non-empty result.
 [[nodiscard]] std::string validate_wormhole_config(
     const WormholeConfig& config);
 
@@ -98,6 +132,18 @@ struct WormholeStats {
 /// level/position coordinate in the node indexing (node id % arity), used
 /// to detect ring direction and wrap hops for the dateline policies; pass
 /// 0 for topologies without a ring coordinate (all hops stay class 0).
+///
+/// A non-null `faults` with any() == true injects static faults into the
+/// datapath: faulty sources never inject, packets to faulty destinations
+/// are skipped uncounted (mirroring the store-and-forward engine), and a
+/// head flit whose next hop is faulted re-plans online through
+/// topo.route_avoiding, escalating the replanned suffix to the escape VC
+/// class. Requires config.policy == VcPolicy::kFaultAdaptive (throws
+/// std::invalid_argument otherwise) and, for the node mask, exactly
+/// num_nodes() entries. Worms with no surviving route (or past
+/// config.misroute_limit re-plans) are killed in place and counted in
+/// WormholeStats::unroutable; their buffered flits drain so the network
+/// cannot false-deadlock on them.
 ///
 /// When `sink` is non-null the run additionally reports per-link/per-VC
 /// utilization (sink->links()), injection/delivery time series, counters
@@ -111,6 +157,7 @@ struct WormholeStats {
 [[nodiscard]] WormholeStats run_wormhole(const SimTopology& topo,
                                          const WormholeConfig& config,
                                          unsigned ring_arity = 0,
+                                         const WormholeFaults* faults = nullptr,
                                          obs::Sink* sink = nullptr,
                                          obs::ProgressBoard* progress = nullptr);
 

@@ -74,6 +74,86 @@ TEST(FaultRouting, FaultyEndpointFails) {
   HbFaultSet faults;
   faults.add(hb, v);
   EXPECT_FALSE(route_around_faults(hb, u, v, faults).ok());
+  // The faulty-source case must fail identically (a dead router cannot
+  // originate), with and without the BFS fallback.
+  HbFaultSet src_fault;
+  src_fault.add(hb, u);
+  EXPECT_FALSE(route_around_faults(hb, u, v, src_fault).ok());
+  EXPECT_FALSE(
+      route_around_faults(hb, u, v, src_fault, /*bfs_fallback=*/false).ok());
+}
+
+TEST(FaultRouting, BlockedFamilyFallsBackToBfs) {
+  // Deterministically block every Theorem-5 family member: fault all but
+  // one neighbor of u (m+3 faults), find the surviving member, then fault
+  // its second hop too. That is m+4 faults -- past the guarantee -- so the
+  // family is fully blocked, but u keeps one live neighbor and the graph
+  // stays connected: the BFS fallback must carry the route and say so.
+  HyperButterfly hb(2, 3);
+  HbNode u{0, {0, 0}}, v{3, {6, 1}};
+  auto nbrs = hb.neighbors(u);
+  ASSERT_EQ(nbrs.size(), hb.cube_dimension() + 4);
+  HbFaultSet faults;
+  for (std::size_t i = 0; i + 1 < nbrs.size(); ++i) faults.add(hb, nbrs[i]);
+  FaultRouteResult survivor =
+      route_around_faults(hb, u, v, faults, /*bfs_fallback=*/false);
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_GT(survivor.path.size(), 3u);
+  ASSERT_FALSE(survivor.path[2] == v);
+  faults.add(hb, survivor.path[2]);
+
+  EXPECT_FALSE(
+      route_around_faults(hb, u, v, faults, /*bfs_fallback=*/false).ok());
+  FaultRouteResult r = route_around_faults(hb, u, v, faults);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.used_fallback);
+  EXPECT_TRUE(path_valid(hb, r.path, u, v, faults));
+}
+
+TEST(FaultRouting, BannedFirstHopIsAvoided) {
+  // The link-fault variant: banning first hops must steer the route off
+  // those edges without consuming more than one family member per ban.
+  HyperButterfly hb(2, 3);
+  HbNode u{0, {0, 0}}, v{3, {6, 1}};
+  auto nbrs = hb.neighbors(u);
+  ASSERT_EQ(nbrs.size(), 6u);
+  HbFaultSet faults;
+  std::vector<HbNode> banned(nbrs.begin(), nbrs.begin() + 3);
+  FaultRouteResult r = route_around_faults(hb, u, v, faults, banned);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.used_fallback);
+  EXPECT_TRUE(path_valid(hb, r.path, u, v, faults));
+  for (const HbNode& b : banned) EXPECT_FALSE(r.path[1] == b);
+}
+
+TEST(FaultRouting, BannedLinksPlusNodeFaultsWithinGuarantee) {
+  // |node faults| + |banned first edges| = m+3 < m+4: internal disjointness
+  // means each ban kills at most one member, so a clean one must survive.
+  HyperButterfly hb(2, 3);
+  HbNode u{0, {0, 0}}, v{3, {6, 1}};
+  auto nbrs = hb.neighbors(u);
+  std::vector<HbNode> banned(nbrs.begin(), nbrs.begin() + 3);
+  HbFaultSet faults;
+  faults.add(hb, hb.node_at(17));
+  faults.add(hb, hb.node_at(41));
+  FaultRouteResult r = route_around_faults(hb, u, v, faults, banned);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(path_valid(hb, r.path, u, v, faults));
+  for (const HbNode& b : banned) EXPECT_FALSE(r.path[1] == b);
+}
+
+TEST(FaultRouting, BannedVariantHasNoFallback) {
+  // Ban every outgoing edge of u: no family member can start, and the
+  // banned-first variant must report failure rather than BFS around the
+  // bans (BFS cannot honor per-edge constraints).
+  HyperButterfly hb(1, 3);
+  HbNode u{0, {0, 0}}, v{1, {5, 1}};
+  HbFaultSet faults;
+  const std::vector<HbNode> banned = hb.neighbors(u);
+  FaultRouteResult r = route_around_faults(hb, u, v, faults, banned);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.used_fallback);
+  EXPECT_EQ(r.paths_tried, banned.size());
 }
 
 TEST(FaultRouting, TrivialSelfRoute) {

@@ -599,7 +599,7 @@ TEST(ObsSink, WormholeOccupancySumsToFlitCycles) {
   cfg.drain_cycles = 20000;
   obs::Sink sink;
   sink.enable_trace();
-  WormholeStats s = run_wormhole(*topo, cfg, 3, &sink);
+  WormholeStats s = run_wormhole(*topo, cfg, 3, nullptr, &sink);
   ASSERT_FALSE(s.deadlocked);
   ASSERT_GT(s.packets.delivered(), 0u);
 
@@ -656,7 +656,7 @@ TEST(ObsSink, WormholeWithoutSinkMatchesWithSink) {
   cfg.drain_cycles = 20000;
   obs::Sink sink;
   WormholeStats bare = run_wormhole(*topo, cfg, 3);
-  WormholeStats observed = run_wormhole(*topo, cfg, 3, &sink);
+  WormholeStats observed = run_wormhole(*topo, cfg, 3, nullptr, &sink);
   // Observability must not perturb the simulation.
   EXPECT_EQ(bare.cycles, observed.cycles);
   EXPECT_EQ(bare.packets.delivered(), observed.packets.delivered());

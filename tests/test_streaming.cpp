@@ -339,7 +339,8 @@ TEST(Streaming, WormholeProgressMatchesStats) {
   cfg.warmup_cycles = 10;
   cfg.measure_cycles = 100;
   obs::ProgressBoard board;
-  const WormholeStats with = run_wormhole(*topo, cfg, 1, nullptr, &board);
+  const WormholeStats with =
+      run_wormhole(*topo, cfg, 1, nullptr, nullptr, &board);
   const WormholeStats without = run_wormhole(*topo, cfg, 1);
   EXPECT_EQ(with.packets.delivered(), without.packets.delivered());
   EXPECT_GE(sampled(board, "wormhole.delivered"), with.packets.delivered());

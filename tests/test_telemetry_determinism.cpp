@@ -74,14 +74,15 @@ TEST(TelemetryDeterminism, WormholeArtifactsAreByteIdentical) {
   cfg.seed = 42;
 
   obs::Sink first_sink;
-  const WormholeStats first = run_wormhole(*topo, cfg, 4, &first_sink);
+  const WormholeStats first =
+      run_wormhole(*topo, cfg, 4, nullptr, &first_sink);
   ASSERT_FALSE(first.deadlocked);
   EXPECT_GT(first.packets.delivered(), 0u);
   const Artifacts a = export_artifacts(first_sink);
   expect_links_sorted(first_sink);
 
   obs::Sink second_sink;
-  (void)run_wormhole(*topo, cfg, 4, &second_sink);
+  (void)run_wormhole(*topo, cfg, 4, nullptr, &second_sink);
   const Artifacts b = export_artifacts(second_sink);
 
   EXPECT_EQ(a.metrics_json, b.metrics_json);

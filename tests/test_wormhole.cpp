@@ -135,6 +135,136 @@ TEST(Wormhole, CccSegmentDatelineCompletes) {
   EXPECT_EQ(s.packets.delivered(), s.packets.injected());
 }
 
+// ---------------------------------------------------------------------------
+// Static faults + Theorem-5 adaptive routing with the reserved escape class.
+
+WormholeConfig adaptive(double rate = 0.02) {
+  WormholeConfig cfg;
+  cfg.vcs = vc_classes(VcPolicy::kFaultAdaptive);
+  cfg.policy = VcPolicy::kFaultAdaptive;
+  cfg.injection_rate = rate;
+  cfg.warmup_cycles = 50;
+  cfg.measure_cycles = 300;
+  cfg.drain_cycles = 60000;
+  return cfg;
+}
+
+TEST(WormholeFaults, NodeFaultsWithinGuaranteeDeliverEverything) {
+  // HB(2,3): kappa = m+4 = 6, so m+3 = 5 static node faults leave the
+  // Theorem-5 family with a clean member for every pair. Every packet with
+  // live endpoints must be delivered, with zero deadlock and the detours
+  // visible in the misroute/escape counters.
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  WormholeFaults wf;
+  wf.nodes.assign(topo->num_nodes(), 0);
+  for (std::uint32_t v : {3u, 17u, 29u, 41u, 77u}) wf.nodes[v] = 1;
+  WormholeStats s = run_wormhole(*topo, adaptive(), 3, &wf);
+  EXPECT_FALSE(s.deadlocked);
+  ASSERT_GT(s.packets.injected(), 0u);
+  EXPECT_EQ(s.packets.delivered(), s.packets.injected());
+  EXPECT_EQ(s.unroutable, 0u);
+  EXPECT_GT(s.misroutes, 0u);
+  EXPECT_GT(s.escape_hops, 0u);
+}
+
+TEST(WormholeFaults, LinkFaultsDeliverEverything) {
+  // Directed link faults kill one direction only; the re-planner bans the
+  // faulted outgoing edges and routes the suffix in the escape class.
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  WormholeFaults wf;
+  for (std::uint32_t src : {0u, 9u, 22u, 63u}) {
+    const std::vector<std::uint32_t> nbrs = topo->neighbors(src);
+    ASSERT_FALSE(nbrs.empty());
+    wf.links.emplace_back(src, nbrs.front());
+  }
+  WormholeStats s = run_wormhole(*topo, adaptive(), 3, &wf);
+  EXPECT_FALSE(s.deadlocked);
+  ASSERT_GT(s.packets.injected(), 0u);
+  EXPECT_EQ(s.packets.delivered(), s.packets.injected());
+  EXPECT_EQ(s.unroutable, 0u);
+}
+
+TEST(WormholeFaults, FullyBlockedSourceKillsWormsWithoutDeadlock) {
+  // Fault every outgoing link of node 0: its packets have no first hop at
+  // all, the banned-first family is empty, and each such worm must be
+  // killed and counted unroutable -- never left to trip the deadlock
+  // detector or wedge the injection queue.
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeFaults wf;
+  for (std::uint32_t nb : topo->neighbors(0)) wf.links.emplace_back(0, nb);
+  WormholeConfig cfg = adaptive(0.05);
+  WormholeStats s = run_wormhole(*topo, cfg, 3, &wf);
+  EXPECT_FALSE(s.deadlocked);
+  EXPECT_GT(s.unroutable, 0u);
+  EXPECT_GT(s.packets.delivered(), 0u);
+  EXPECT_EQ(s.packets.delivered() + s.packets.dropped(),
+            s.packets.injected());
+}
+
+TEST(WormholeFaults, FaultyEndpointsNeverInject) {
+  // A dead source never injects; a draw targeting a dead destination is
+  // skipped uncounted (mirroring the store-and-forward engine). With every
+  // odd node dead the run still terminates cleanly.
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeFaults wf;
+  wf.nodes.assign(topo->num_nodes(), 0);
+  for (std::uint32_t v = 1; v < topo->num_nodes(); v += 2) wf.nodes[v] = 1;
+  WormholeStats s = run_wormhole(*topo, adaptive(0.05), 3, &wf);
+  EXPECT_FALSE(s.deadlocked);
+  EXPECT_EQ(s.packets.delivered() + s.packets.dropped(),
+            s.packets.injected());
+}
+
+TEST(WormholeFaults, FaultsRequireAdaptivePolicy) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeFaults wf;
+  wf.links.emplace_back(0, topo->neighbors(0).front());
+  WormholeConfig cfg = gentle();  // segment-dateline
+  EXPECT_THROW((void)run_wormhole(*topo, cfg, 3, &wf),
+               std::invalid_argument);
+  // An empty fault set is not a fault set: any policy may pass it.
+  WormholeFaults empty;
+  WormholeStats s = run_wormhole(*topo, cfg, 3, &empty);
+  EXPECT_FALSE(s.deadlocked);
+}
+
+TEST(WormholeFaults, RejectsMalformedFaultSets) {
+  auto topo = make_hyper_butterfly_sim(1, 3);
+  WormholeConfig cfg = adaptive();
+  WormholeFaults bad_mask;
+  bad_mask.nodes.assign(3, 0);  // must be empty or num_nodes()
+  bad_mask.nodes[0] = 1;
+  EXPECT_THROW((void)run_wormhole(*topo, cfg, 3, &bad_mask),
+               std::invalid_argument);
+  WormholeFaults bad_link;
+  bad_link.links.emplace_back(0, topo->num_nodes());
+  EXPECT_THROW((void)run_wormhole(*topo, cfg, 3, &bad_link),
+               std::invalid_argument);
+}
+
+TEST(WormholeFaults, ValidatorNamesTheAdaptiveMinimum) {
+  WormholeConfig cfg;
+  cfg.policy = VcPolicy::kFaultAdaptive;  // vcs stays at the default 2
+  const std::string err = validate_wormhole_config(cfg);
+  EXPECT_NE(err.find("'adaptive'"), std::string::npos) << err;
+  EXPECT_NE(err.find("at least 7"), std::string::npos) << err;
+  cfg.vcs = vc_classes(VcPolicy::kFaultAdaptive);
+  EXPECT_TRUE(validate_wormhole_config(cfg).empty());
+  EXPECT_EQ(std::string(vc_policy_name(VcPolicy::kFaultAdaptive)),
+            "adaptive");
+}
+
+TEST(WormholeFaults, FaultFreeAdaptiveMatchesSegmentBehavior) {
+  // With no faults the adaptive policy is segment-dateline plus one idle
+  // escape class: it must survive the same pressure that proves
+  // segment-dateline deadlock free.
+  auto topo = make_butterfly_sim(4);
+  WormholeStats s =
+      run_wormhole(*topo, pressure(7, VcPolicy::kFaultAdaptive), 4);
+  EXPECT_FALSE(s.deadlocked);
+  EXPECT_EQ(s.packets.delivered(), s.packets.injected());
+}
+
 TEST(Wormhole, SegmentDatelineHeavySweep) {
   // Sustained heavy load across several seeds: never deadlocks.
   auto topo = make_butterfly_sim(3);

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "campaign/campaign.hpp"
 #include "obs/sink.hpp"
 #include "par/pool.hpp"
 #include "sim/topology.hpp"
@@ -23,6 +26,7 @@ struct StatsSnapshot {
   std::uint64_t injected, delivered, cycles, p50, p99, max_latency;
   double mean_latency, mean_hops;
   bool deadlocked;
+  std::uint64_t misroutes, escape_hops, unroutable;
   friend bool operator==(const StatsSnapshot&, const StatsSnapshot&) = default;
 };
 
@@ -35,7 +39,10 @@ StatsSnapshot snapshot(const WormholeStats& s) {
           s.packets.max_latency(),
           s.packets.mean_latency(),
           s.packets.mean_hops(),
-          s.deadlocked};
+          s.deadlocked,
+          s.misroutes,
+          s.escape_hops,
+          s.unroutable};
 }
 
 WormholeConfig moderate_config(std::uint64_t seed) {
@@ -75,7 +82,7 @@ TEST(WormholeDeterminism, SinkDoesNotPerturbSimulation) {
   const StatsSnapshot bare = snapshot(run_wormhole(*topo, cfg, 3));
   obs::Sink sink;
   sink.enable_trace();
-  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 3, &sink)), bare);
+  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 3, nullptr, &sink)), bare);
 }
 
 TEST(WormholeDeterminism, ThreadDefaultDoesNotPerturbSimulation) {
@@ -114,7 +121,7 @@ TEST(WormholeDeterminism, TelemetryIdentitiesHold) {
   auto topo = make_butterfly_sim(4);
   WormholeConfig cfg = moderate_config(42);
   obs::Sink sink;
-  const WormholeStats s = run_wormhole(*topo, cfg, 4, &sink);
+  const WormholeStats s = run_wormhole(*topo, cfg, 4, nullptr, &sink);
   ASSERT_FALSE(s.deadlocked);
 
   // Per-link occupancy integrals (maintained incrementally on push/pop)
@@ -141,6 +148,54 @@ TEST(WormholeDeterminism, TelemetryIdentitiesHold) {
   EXPECT_GE(forwarded_sum,
             s.packets.delivered() * cfg.flits_per_packet);
   EXPECT_EQ(sink.run_cycles(), s.cycles);
+}
+
+TEST(WormholeDeterminism, FaultRunIsDeterministic) {
+  // The fault-adaptive datapath keeps the purity contract: same seed and
+  // fault set => identical stats including the misroute/escape/unroutable
+  // counters, with or without a sink attached.
+  auto topo = make_hyper_butterfly_sim(2, 3);
+  WormholeConfig cfg = moderate_config(42);
+  cfg.vcs = vc_classes(VcPolicy::kFaultAdaptive);
+  cfg.policy = VcPolicy::kFaultAdaptive;
+  cfg.injection_rate = 0.03;
+  WormholeFaults wf;
+  wf.nodes.assign(topo->num_nodes(), 0);
+  for (std::uint32_t v : {5u, 18u, 33u, 60u, 91u}) wf.nodes[v] = 1;
+  wf.links.emplace_back(0, topo->neighbors(0).front());
+  const StatsSnapshot first = snapshot(run_wormhole(*topo, cfg, 3, &wf));
+  EXPECT_GT(first.delivered, 0u);
+  EXPECT_GT(first.misroutes, 0u);
+  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 3, &wf)), first);
+  obs::Sink sink;
+  EXPECT_EQ(snapshot(run_wormhole(*topo, cfg, 3, &wf, &sink)), first);
+}
+
+TEST(WormholeDeterminism, FaultGridByteIdenticalAcrossThreadCounts) {
+  // The acceptance bar of the fault-datapath PR: a fault-injecting
+  // wormhole campaign grid (all three wormhole fault models, nonzero
+  // counts) merges to byte-identical metrics JSON at 1, 2 and 8 threads.
+  campaign::CampaignConfig cfg;
+  cfg.m = 1;
+  cfg.n = 3;
+  cfg.engine = campaign::Engine::kWormhole;
+  cfg.models = {campaign::FaultModel::kRandom,
+                campaign::FaultModel::kAdversarial,
+                campaign::FaultModel::kLinks};
+  cfg.rates = {0.03};
+  cfg.fault_counts = {0, 2, 4};
+  cfg.trials = 2;
+  cfg.wormhole.measure_cycles = 150;
+  std::vector<std::string> artifacts;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    const campaign::CampaignResult r = campaign::run_campaign(cfg);
+    std::ostringstream os;
+    r.metrics.write_json(os);
+    artifacts.push_back(os.str());
+  }
+  EXPECT_EQ(artifacts[0], artifacts[1]);
+  EXPECT_EQ(artifacts[0], artifacts[2]);
 }
 
 TEST(WormholeDeterminism, DrainedRunDeliversEverything) {

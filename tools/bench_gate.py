@@ -19,6 +19,12 @@ Rules:
     benchmark name present on only one side, are WARNINGS, not failures --
     new benchmarks land without a baseline until the next re-baseline.
   * Improvements are reported but never gate.
+  * User counters (``state.counters`` -- every numeric key that is not one
+    of the standard benchmark fields, e.g. the wormhole fault columns
+    delivered/misroutes/unroutable) are tracked: a counter that drifts,
+    appears, or disappears between baseline and fresh run is a WARNING.
+    Counters describe the workload, not the machine, so they never gate --
+    but silent drift would make the timing comparison meaningless.
 
 An unreadable, empty, or malformed JSON file on either side is a warning
 (the file is skipped), never a stack trace: benchmark history is allowed to
@@ -43,13 +49,24 @@ import sys
 # Factors to nanoseconds; benchmark JSON time_unit values.
 _UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# Standard per-benchmark fields of Google Benchmark's JSON schema. Any
+# *other* numeric key is a user counter (state.counters) and is tracked as
+# workload metadata alongside the timing.
+_STANDARD_KEYS = {
+    "name", "run_name", "run_type", "iterations", "real_time", "cpu_time",
+    "time_unit", "repetitions", "threads", "family_index",
+    "per_family_instance_index", "repetition_index", "aggregate_name",
+    "aggregate_unit",
+}
+
 
 def load_iterations(path, warnings):
-    """name -> real_time in ns for every iteration entry of one JSON file.
+    """name -> (real_time ns, counters) for every iteration entry of a file.
 
-    An unreadable or malformed file appends a warning and yields an empty
-    mapping instead of raising: missing/corrupt benchmark history must
-    degrade the gate, not crash it.
+    ``counters`` maps each non-standard numeric key (a state.counters
+    entry) to its float value. An unreadable or malformed file appends a
+    warning and yields an empty mapping instead of raising: missing/corrupt
+    benchmark history must degrade the gate, not crash it.
     """
     try:
         with open(path, encoding="utf-8") as fh:
@@ -77,7 +94,14 @@ def load_iterations(path, warnings):
         unit = bench.get("time_unit", "ns")
         if name is None or real is None:
             continue
-        out[name] = float(real) * _UNIT_NS.get(unit, 1.0)
+        counters = {
+            key: float(value)
+            for key, value in bench.items()
+            if key not in _STANDARD_KEYS
+            and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        }
+        out[name] = (float(real) * _UNIT_NS.get(unit, 1.0), counters)
     return out
 
 
@@ -192,14 +216,28 @@ def main(argv):
                             "baseline yet")
         for name in sorted(set(base) & set(fresh)):
             compared += 1
-            delta = 100.0 * (fresh[name] / base[name] - 1.0)
+            base_ns, base_counters = base[name]
+            fresh_ns, fresh_counters = fresh[name]
+            delta = 100.0 * (fresh_ns / base_ns - 1.0)
             line = (f"{base_path.name}: {name}: "
-                    f"{fmt_ns(base[name])} -> {fmt_ns(fresh[name])} "
+                    f"{fmt_ns(base_ns)} -> {fmt_ns(fresh_ns)} "
                     f"({delta:+.1f}%)")
             if delta > args.threshold:
                 failures.append(line)
             else:
                 print(f"ok    {line}")
+            # Counter drift: workload metadata, warn-only.
+            for key in sorted(set(base_counters) - set(fresh_counters)):
+                warnings.append(f"{base_path.name}: {name}: counter '{key}' "
+                                "missing from fresh run")
+            for key in sorted(set(fresh_counters) - set(base_counters)):
+                warnings.append(f"{base_path.name}: {name}: counter '{key}' "
+                                "is new -- no baseline yet")
+            for key in sorted(set(base_counters) & set(fresh_counters)):
+                if base_counters[key] != fresh_counters[key]:
+                    warnings.append(
+                        f"{base_path.name}: {name}: counter '{key}' drifted "
+                        f"{base_counters[key]:g} -> {fresh_counters[key]:g}")
 
     for w in warnings:
         print(f"warn  {w}")

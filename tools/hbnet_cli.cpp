@@ -112,7 +112,11 @@ int usage() {
          "  --rate R --cycles C --warmup W --drain D --vcs V --flits F\n"
          "  --seed S --threads N\n"
          "  --pattern uniform|complement|reversal|shuffle|hotspot\n"
-         "  --policy any|dateline|segment   --valiant\n"
+         "  --policy any|dateline|segment|adaptive   --valiant\n"
+         "  --faults K          wormhole only: K static node faults derived\n"
+         "                      from the seed (requires --policy adaptive)\n"
+         "  --link-faults K     wormhole only: K static directed link faults\n"
+         "                      (requires --policy adaptive)\n"
          "  --shards S          sim only: run the sharded synchronous\n"
          "                      engine (counter-based traffic; 0 = one\n"
          "                      shard per worker). Results are identical\n"
@@ -128,7 +132,8 @@ int usage() {
          "  --stream-interval-ms MS  snapshot interval (default 200)\n"
          "  --progress          single rewriting status line on stderr\n"
          "options for campaign:\n"
-         "  --models M1,M2      random|adversarial|events (default random)\n"
+         "  --models M1,M2      random|adversarial|events|links (default\n"
+         "                      random; events is sf-only, links wormhole-only)\n"
          "  --rates R1,R2       injection rates in (0,1] (default 0.05)\n"
          "  --faults K1,K2      fault counts per cell (default 0)\n"
          "  --trials T          repeats per grid cell (default 1)\n"
@@ -193,6 +198,10 @@ struct SimFlags {
   hbnet::TrafficPattern pattern = hbnet::TrafficPattern::kUniform;
   hbnet::VcPolicy policy = hbnet::VcPolicy::kSegmentDateline;
   bool valiant = false;
+  // Wormhole static faults, derived from the seed exactly the way campaign
+  // trials derive theirs (campaign::derived_fault_nodes / _links).
+  unsigned faults = 0;
+  unsigned link_faults = 0;
   std::string trace_out, metrics_out, links_csv;
   // Live telemetry: NDJSON stream / Prometheus exposition / TTY line.
   std::string stream_out, prom_out;
@@ -250,6 +259,14 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
     } else if (a == "--flits") {
       const char* v = next("--flits");
       if (!v || !parse_flag_unsigned("--flits", v, f.flits)) return false;
+    } else if (a == "--faults") {
+      const char* v = next("--faults");
+      if (!v || !parse_flag_unsigned("--faults", v, f.faults)) return false;
+    } else if (a == "--link-faults") {
+      const char* v = next("--link-faults");
+      if (!v || !parse_flag_unsigned("--link-faults", v, f.link_faults)) {
+        return false;
+      }
     } else if (a == "--seed") {
       const char* v = next("--seed");
       if (!v || !parse_flag_u64("--seed", v, f.seed)) return false;
@@ -286,6 +303,8 @@ bool parse_sim_flags(int argc, char** argv, int first, SimFlags& f) {
         f.policy = hbnet::VcPolicy::kDateline;
       } else if (p == "segment") {
         f.policy = hbnet::VcPolicy::kSegmentDateline;
+      } else if (p == "adaptive") {
+        f.policy = hbnet::VcPolicy::kFaultAdaptive;
       } else {
         std::cerr << "unknown policy " << p << "\n";
         return false;
@@ -800,12 +819,50 @@ int run(int argc, char** argv) {
       cfg.seed = flags.seed;
       cfg.pattern = flags.pattern;
       cfg.policy = flags.policy;
+      // Static faults, derived from the run seed the same way campaign
+      // trials derive theirs: node ids from the fault stream (stream 1 of
+      // the splittable counter), link picks from an independent stream.
+      hbnet::WormholeFaults wf;
+      if (flags.faults > 0 || flags.link_faults > 0) {
+        namespace camp = hbnet::campaign;
+        const std::uint64_t fault_seed = camp::split_seed(flags.seed, 0, 1);
+        if (flags.faults > 0) {
+          if (flags.faults >= topo->num_nodes()) {
+            std::cerr << "--faults: must be < num nodes ("
+                      << topo->num_nodes() << ")\n";
+            return 1;
+          }
+          wf.nodes.assign(topo->num_nodes(), 0);
+          for (const std::uint32_t v :
+               camp::derived_fault_nodes(fault_seed, topo->num_nodes(),
+                                         flags.faults)) {
+            wf.nodes[v] = 1;
+          }
+        }
+        if (flags.link_faults > 0) {
+          if (flags.link_faults >= topo->num_nodes()) {
+            std::cerr << "--link-faults: must be < num nodes ("
+                      << topo->num_nodes() << ")\n";
+            return 1;
+          }
+          wf.links =
+              camp::derived_fault_links(fault_seed, *topo, flags.link_faults);
+        }
+        if (cfg.policy != hbnet::VcPolicy::kFaultAdaptive) {
+          std::cerr << "--faults/--link-faults need --policy adaptive (vcs"
+                       " >= "
+                    << hbnet::vc_classes(hbnet::VcPolicy::kFaultAdaptive)
+                    << ")\n";
+          return 1;
+        }
+      }
       Streaming streaming;
       streaming.start(flags, "wormhole");
       // The butterfly level coordinate is node id mod n: the ring arity
       // the dateline VC classes are computed from.
-      hbnet::WormholeStats s = hbnet::run_wormhole(*topo, cfg, n, &sink,
-                                                   streaming.board_or_null());
+      hbnet::WormholeStats s =
+          hbnet::run_wormhole(*topo, cfg, n, wf.any() ? &wf : nullptr, &sink,
+                              streaming.board_or_null());
       streaming.stop();
       std::cout << "wormhole HB(" << m << "," << n << ") "
                 << topo->num_nodes() << " nodes, rate " << flags.rate
@@ -814,6 +871,12 @@ int run(int argc, char** argv) {
                 << s.packets.summary() << "\n  p50="
                 << s.packets.latency_percentile(0.5)
                 << " max=" << s.packets.max_latency() << "\n";
+      if (wf.any()) {
+        std::cout << "  faults: " << flags.faults << " nodes, "
+                  << flags.link_faults << " links; misroutes=" << s.misroutes
+                  << " escape_hops=" << s.escape_hops
+                  << " unroutable=" << s.unroutable << "\n";
+      }
       if (!export_sink(sink, flags)) return 1;
       return s.deadlocked ? 1 : 0;
     }
@@ -883,7 +946,7 @@ int run(int argc, char** argv) {
               camp::fault_model_from_name(piece);
           if (!model) {
             std::cerr << "--models: unknown fault model '" << piece
-                      << "' (random|adversarial|events)\n";
+                      << "' (random|adversarial|events|links)\n";
             return usage();
           }
           cfg.models.push_back(*model);

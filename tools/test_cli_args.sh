@@ -48,11 +48,22 @@ expect_reject "bad campaign trials" campaign 2 3 --trials -1
 expect_reject "bad campaign model" campaign 2 3 --models bogus
 expect_reject "bad campaign engine" campaign 2 3 --engine bogus
 expect_reject "campaign rate out of range" campaign 2 3 --rates 1.5
-expect_reject "wormhole campaign with faults" campaign 2 3 --engine wormhole --faults 2
+expect_reject "wormhole campaign with events model" campaign 2 3 --engine wormhole --models events --faults 2
+expect_reject "sf campaign with links model" campaign 2 3 --models links --faults 2
+expect_reject "bad wormhole fault count" wormhole 2 3 --faults 3x
+expect_reject "wormhole faults without adaptive policy" wormhole 2 3 --faults 2
+expect_reject "wormhole link faults without adaptive policy" wormhole 2 3 --link-faults 2
 
 # Well-formed commands must still pass.
 if ! "$cli" info 2 3 >/dev/null; then
   echo "FAIL: well-formed 'info 2 3' should succeed" >&2
+  fails=$((fails + 1))
+fi
+
+# The previously rejected fault-injecting wormhole campaign is now the
+# supported path (adaptive policy + escape VC): it must succeed.
+if ! "$cli" campaign 2 3 --engine wormhole --faults 2 --cycles 50 >/dev/null; then
+  echo "FAIL: fault-injecting wormhole campaign should succeed" >&2
   fails=$((fails + 1))
 fi
 
